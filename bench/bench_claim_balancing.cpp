@@ -1,0 +1,151 @@
+// C3 — §8 claims on balancing flow dependency graphs:
+//   (1) acyclic graphs admit a polynomial-time balancing algorithm
+//       (longest-path relaxation);
+//   (2) buffering can often be reduced below the longest-path solution;
+//   (3) optimum (minimum-buffer) balancing is the LP dual of a min-cost
+//       flow problem, also polynomial.
+// We compare total inserted FIFO slots and wall time of both modes on
+// growing synthetic pipe-structured programs.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/balance.hpp"
+
+namespace {
+
+using namespace valpipe;
+
+/// A wide pipe-structured program: `lanes` parallel smoothing/recurrence
+/// chains that are finally summed pairwise — lots of reconvergence, so
+/// balancing has real work to do.
+std::string wideSource(int lanes, std::int64_t m) {
+  std::ostringstream os;
+  os << "const m = " << m << "\n";
+  os << "function wide(S: array[real] [0, m+1] returns array[real])\n  let\n";
+  for (int l = 0; l < lanes; ++l) {
+    // Alternate shallow and deep lanes (skew) and boundary-guarded lanes
+    // (control sequences + merges, which longest-path over-buffers).
+    os << "    L" << l << " : array[real] := forall i in [1, m]\n";
+    os << "      construct ";
+    switch (l % 3) {
+      case 0:
+        os << "S[i-1] + S[i+1]";
+        break;
+      case 1:
+        os << "0.25 * (S[i-1] + 2.*S[i] + S[i+1]) * (0.5 + 0.1 * " << l << ".)";
+        break;
+      default:
+        os << "if (i = 1) | (i = m) then S[i] "
+           << "else 0.5 * (S[i-1] * S[i+1]) + S[i] endif";
+        break;
+    }
+    os << " endall\n";
+  }
+  os << "    Z0 : array[real] := forall i in [1, m] construct ";
+  for (int l = 0; l < lanes; ++l) {
+    if (l) os << " + ";
+    os << "L" << l << "[i]";
+  }
+  os << " endall\n";
+  os << "  in Z0 endlet\nendfun\n";
+  return os.str();
+}
+
+dfg::Graph unbalancedGraph(int lanes, std::int64_t m) {
+  core::CompileOptions opts;
+  opts.balanceMode = core::BalanceMode::None;
+  return core::compileSource(wideSource(lanes, m), opts).graph;
+}
+
+void BM_BalanceLongestPath(benchmark::State& state) {
+  const dfg::Graph g = unbalancedGraph(static_cast<int>(state.range(0)), 64);
+  for (auto _ : state) {
+    dfg::Graph copy = g;
+    auto out = core::balanceGraph(copy, core::BalanceMode::LongestPath);
+    benchmark::DoNotOptimize(out.buffersInserted);
+  }
+  state.counters["cells"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_BalanceLongestPath)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BalanceOptimal(benchmark::State& state) {
+  const dfg::Graph g = unbalancedGraph(static_cast<int>(state.range(0)), 64);
+  for (auto _ : state) {
+    dfg::Graph copy = g;
+    auto out = core::balanceGraph(copy, core::BalanceMode::Optimal);
+    benchmark::DoNotOptimize(out.buffersInserted);
+  }
+  state.counters["cells"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_BalanceOptimal)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valpipe;
+  bench::banner(
+      "C3 (Section 8, conclusions 1-3)",
+      "buffer cost and runtime: longest-path vs optimum (min-cost-flow dual)",
+      "both polynomial; optimum inserts no more (typically fewer) FIFO "
+      "slots than longest-path balancing");
+
+  TextTable table({"graph", "nodes", "arcs", "slots longest", "slots optimal",
+                   "saving", "t longest (ms)", "t optimal (ms)"});
+  auto addRow = [&](const std::string& name, const dfg::Graph& g) {
+    const auto stats = dfg::computeStats(g);
+    auto timeOf = [&](core::BalanceMode mode, std::size_t& slots) {
+      dfg::Graph copy = g;
+      const auto start = std::chrono::steady_clock::now();
+      const auto out = core::balanceGraph(copy, mode);
+      const auto stop = std::chrono::steady_clock::now();
+      slots = out.buffersInserted;
+      return std::chrono::duration<double, std::milli>(stop - start).count();
+    };
+    std::size_t lpSlots = 0, optSlots = 0;
+    const double tLp = timeOf(core::BalanceMode::LongestPath, lpSlots);
+    const double tOpt = timeOf(core::BalanceMode::Optimal, optSlots);
+    std::ostringstream saving;
+    saving << (lpSlots == 0 ? 0.0
+                            : 100.0 * (1.0 - static_cast<double>(optSlots) /
+                                                 static_cast<double>(lpSlots)))
+           << "%";
+    table.addRow({name, std::to_string(stats.nodes),
+                  std::to_string(stats.arcs), std::to_string(lpSlots),
+                  std::to_string(optSlots), saving.str(), fmtDouble(tLp, 3),
+                  fmtDouble(tOpt, 3)});
+  };
+
+  {
+    core::CompileOptions raw;
+    raw.balanceMode = core::BalanceMode::None;
+    const std::string ex1 = R"(const m = 64
+function ex1(B, C: array[real] [0, m+1] returns array[real])
+  forall i in [0, m+1]
+    P : real := if (i = 0) | (i = m+1) then C[i]
+                else 0.25 * (C[i-1] + 2.*C[i] + C[i+1]) endif;
+  construct B[i] * (P * P)
+  endall
+endfun
+)";
+    addRow("example 1", core::compileSource(ex1, raw).graph);
+    addRow("example 2", core::compileSource(bench::example2Source(64), raw).graph);
+  }
+  for (int lanes : {2, 4, 8, 16, 32, 64})
+    addRow("wide-" + std::to_string(lanes), unbalancedGraph(lanes, 64));
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("-- both balanced graphs still run at the full rate --\n");
+  TextTable rates({"mode", "rate"});
+  for (auto mode : {core::BalanceMode::LongestPath, core::BalanceMode::Optimal}) {
+    core::CompileOptions opts;
+    opts.balanceMode = mode;
+    const auto prog = core::compileSource(wideSource(8, 256), opts);
+    const auto in = bench::randomInputs(prog, 31);
+    rates.addRow({mode == core::BalanceMode::Optimal ? "optimal" : "longest",
+                  fmtDouble(bench::measureRate(prog, in).steadyRate, 4)});
+  }
+  std::printf("%s\n", rates.str().c_str());
+  return bench::runTimings(argc, argv);
+}

@@ -1,0 +1,107 @@
+// Shared harness for the experiment benches.
+//
+// Every bench binary reproduces one figure or quantitative claim of the
+// paper: it prints a paper-vs-measured table (the experiment proper), then
+// hands over to google-benchmark for wall-clock timings of the simulator /
+// compiler machinery involved.  Binaries run with no arguments.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "dfg/lower.hpp"
+#include "dfg/stats.hpp"
+#include "machine/engine.hpp"
+#include "support/text.hpp"
+#include "val/eval.hpp"
+
+namespace valpipe::bench {
+
+/// The paper's Example 2 source (first-order linear recurrence).
+inline std::string example2Source(std::int64_t m) {
+  return "const m = " + std::to_string(m) + "\n" + R"(
+function ex2(A, B: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do let P : real := A[i]*T[i-1] + B[i]
+     in if i < m + 1 then iter T := T[i: P]; i := i + 1 enditer
+        else T endif
+     endlet
+  endfor
+endfun
+)";
+}
+
+/// Deterministic pseudo-random input stream.
+inline std::vector<Value> randomStream(std::int64_t n, unsigned seed,
+                                       double lo = -1.0, double hi = 1.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<Value> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) out.push_back(Value(dist(rng)));
+  return out;
+}
+
+/// Input streams for a compiled program, sized from its declared types.
+inline machine::StreamMap randomInputs(const core::CompiledProgram& prog,
+                                       unsigned seed, double lo = -1.0,
+                                       double hi = 1.0) {
+  machine::StreamMap in;
+  unsigned k = 0;
+  for (const auto& [name, range] : prog.inputs)
+    in[name] =
+        randomStream(prog.inputLengthPerWave(name), seed + 100 * k++, lo, hi);
+  return in;
+}
+
+struct RateResult {
+  double steadyRate = 0.0;
+  std::int64_t cycles = 0;
+  bool completed = false;
+  machine::PacketCounters packets;
+};
+
+/// Runs a compiled program on the unit-profile machine and reports the
+/// steady output rate.
+inline RateResult measureRate(const core::CompiledProgram& prog,
+                              const machine::StreamMap& inputs, int waves = 1,
+                              machine::MachineConfig cfg =
+                                  machine::MachineConfig::unit()) {
+  dfg::Graph lowered = dfg::isLowered(prog.graph)
+                           ? prog.graph
+                           : dfg::expandFifos(prog.graph);
+  machine::RunOptions opts;
+  opts.waves = waves;
+  opts.expectedOutputs[prog.outputName] =
+      prog.expectedOutputPerWave() * waves;
+  const machine::MachineResult res = machine::simulate(lowered, cfg, inputs, opts);
+  return {res.steadyRate(prog.outputName), res.cycles, res.completed,
+          res.packets};
+}
+
+/// Prints the experiment header in a consistent format.
+inline void banner(const char* id, const char* what, const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("paper expectation: %s\n", expectation);
+  std::printf("==============================================================\n");
+}
+
+/// Runs google-benchmark with the binary's own argv (so `--benchmark_*`
+/// flags still work) after the experiment tables have been printed.
+inline int runTimings(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::printf("\n-- wall-clock timings of the machinery involved --\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace valpipe::bench

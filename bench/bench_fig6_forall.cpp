@@ -1,0 +1,80 @@
+// F6 — Figure 6: the primitive forall of Example 1, mapped with the §6
+// pipeline scheme (cascaded definition + accumulation graphs, element
+// selection gates, merge for the boundary/interior cases) versus the
+// parallel scheme baseline (one body copy per element).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace valpipe;
+
+std::string source(std::int64_t m) {
+  return "const m = " + std::to_string(m) + "\n" + R"(
+function ex1(B, C: array[real] [0, m+1] returns array[real])
+  forall i in [0, m+1]
+    P : real := if (i = 0) | (i = m+1) then C[i]
+                else 0.25 * (C[i-1] + 2.*C[i] + C[i+1]) endif;
+  construct B[i] * (P * P)
+  endall
+endfun
+)";
+}
+
+void BM_PipelineScheme(benchmark::State& state) {
+  const auto prog = core::compileSource(source(state.range(0)));
+  const auto in = bench::randomInputs(prog, 5);
+  for (auto _ : state) {
+    auto r = bench::measureRate(prog, in);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_PipelineScheme)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ParallelScheme(benchmark::State& state) {
+  core::CompileOptions par;
+  par.forallScheme = core::ForallScheme::Parallel;
+  const auto prog = core::compileSource(source(state.range(0)), par);
+  const auto in = bench::randomInputs(prog, 5);
+  for (auto _ : state) {
+    auto r = bench::measureRate(prog, in);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_ParallelScheme)->Arg(64)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valpipe;
+  bench::banner(
+      "F6 (Figure 6 / Theorem 2)",
+      "primitive forall (Example 1): pipeline scheme vs parallel scheme",
+      "pipeline: rate -> 0.5 with O(body) cells; parallel: O(n * body) "
+      "cells (\"of limited interest\" for streams)");
+
+  TextTable table({"m", "scheme", "cells", "FIFO slots", "rate", "paper"});
+  for (std::int64_t m : {64, 256, 1024, 4096}) {
+    const auto prog = core::compileSource(source(m));
+    const auto in = bench::randomInputs(prog, 5);
+    table.addRow({std::to_string(m), "pipeline",
+                  std::to_string(prog.graph.loweredCellCount()),
+                  std::to_string(prog.balance.buffersInserted),
+                  fmtDouble(bench::measureRate(prog, in, 2).steadyRate, 4),
+                  "0.5, ~const cells"});
+    if (m <= 256) {
+      core::CompileOptions par;
+      par.forallScheme = core::ForallScheme::Parallel;
+      const auto pprog = core::compileSource(source(m), par);
+      const auto pin = bench::randomInputs(pprog, 5);
+      table.addRow({std::to_string(m), "parallel",
+                    std::to_string(pprog.graph.loweredCellCount()),
+                    std::to_string(pprog.balance.buffersInserted),
+                    fmtDouble(bench::measureRate(pprog, pin).steadyRate, 4),
+                    "O(n) cells"});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("(parallel rows stop at m=256: cell count grows linearly, the "
+              "scheme does not exploit the stream representation)\n\n");
+  return bench::runTimings(argc, argv);
+}

@@ -1,0 +1,116 @@
+// First-order linear recurrence solver (the paper's Example 2 workload):
+//   x_i = a_i * x_{i-1} + b_i
+// compiled three ways — Todd's scheme (Fig. 7), the companion-pipeline
+// scheme (Fig. 8) and the §9 long-FIFO interleaving — and raced on the
+// machine model.  This is e.g. an exponentially-weighted moving average or a
+// one-pole IIR filter over a signal.
+//
+//   $ ./recurrence_solver [n]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "dfg/lower.hpp"
+#include "machine/engine.hpp"
+#include "support/text.hpp"
+#include "val/eval.hpp"
+
+int main(int argc, char** argv) {
+  using namespace valpipe;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1024;
+
+  // EWMA with a per-sample smoothing factor: x_i = (1-w_i) x_{i-1} + w_i s_i.
+  const std::string source =
+      "const n = " + std::to_string(n) + "\n" + R"(
+function ewma(W, S: array[real] [1, n] returns array[real])
+  for i : integer := 1;
+      X : array[real] := [0: 0]
+  do let P : real := (1. - W[i]) * X[i-1] + W[i] * S[i]
+     in if i < n + 1 then iter X := X[i: P]; i := i + 1 enditer
+        else X endif
+     endlet
+  endfor
+endfun
+)";
+
+  val::Module mod = core::frontend(source);
+
+  // A noisy signal and mild smoothing weights.
+  val::ArrayMap inputs;
+  {
+    val::ArrayVal w{1, {}}, s{1, {}};
+    for (int i = 1; i <= n; ++i) {
+      w.elems.push_back(Value(0.2));
+      s.elems.push_back(Value(std::sin(0.05 * i) + 0.3 * std::sin(1.7 * i)));
+    }
+    inputs["W"] = w;
+    inputs["S"] = s;
+  }
+  const val::EvalResult ref = val::evaluate(mod, inputs);
+
+  TextTable table({"scheme", "cells", "cycle S", "packets k", "rate", "cycles",
+                   "max |err|"});
+
+  auto race = [&](const char* name, const core::CompileOptions& opts,
+                  int batch) {
+    const core::CompiledProgram prog = core::compile(mod, opts);
+    const dfg::Graph code = dfg::expandFifos(prog.graph);
+
+    machine::StreamMap streams;
+    if (batch <= 1) {
+      streams["W"] = inputs.at("W").elems;
+      streams["S"] = inputs.at("S").elems;
+    } else {
+      // Long-FIFO mode: interleave `batch` copies of the same instance.
+      for (const char* in : {"W", "S"}) {
+        std::vector<Value> v;
+        for (const Value& x : inputs.at(in).elems)
+          for (int b = 0; b < batch; ++b) v.push_back(x);
+        streams[in] = std::move(v);
+      }
+    }
+    machine::RunOptions ropts;
+    ropts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+    const machine::MachineResult res =
+        machine::simulate(code, machine::MachineConfig::unit(), streams, ropts);
+
+    double err = 0.0;
+    const auto& out = res.outputs.at(prog.outputName);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const std::size_t i = batch <= 1 ? k : k / static_cast<std::size_t>(batch);
+      err = std::max(err, std::fabs(out[k].toReal() -
+                                    ref.result.elems[i].toReal()));
+    }
+    table.addRow({name, std::to_string(code.size()),
+                  std::to_string(prog.blocks[0].cycleStages),
+                  std::to_string(prog.blocks[0].cycleTokens),
+                  fmtDouble(res.steadyRate(prog.outputName), 3),
+                  std::to_string(res.cycles), fmtDouble(err, 2)});
+  };
+
+  core::CompileOptions todd;
+  todd.forIterScheme = core::ForIterScheme::Todd;
+  race("todd (fig 7)", todd, 1);
+
+  for (int k : {2, 4, 8}) {
+    core::CompileOptions comp;
+    comp.forIterScheme = core::ForIterScheme::Companion;
+    comp.companionSkip = k;
+    race(("companion k=" + std::to_string(k)).c_str(), comp, 1);
+  }
+
+  core::CompileOptions lf;
+  lf.forIterScheme = core::ForIterScheme::LongFifo;
+  lf.interleave = 4;
+  race("longfifo B=4", lf, 4);
+
+  std::printf("first-order recurrence over %d samples, unit machine model\n\n%s",
+              n, table.str().c_str());
+  std::printf(
+      "\nTodd's cycle serializes at 1/3; the companion pipeline and the\n"
+      "long-FIFO interleave both restore the machine's 1/2 maximum.\n");
+  return 0;
+}

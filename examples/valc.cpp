@@ -1,0 +1,177 @@
+// valc — the Val-to-static-dataflow compiler driver.
+//
+//   valc [options] <file.val>
+//     --scheme todd|companion|longfifo|auto   for-iter mapping (default auto)
+//     --forall pipeline|parallel              forall mapping (default pipeline)
+//     --balance none|longest|optimal          buffering mode (default optimal)
+//     --skip K                                companion dependence distance
+//     --batch B                               long-FIFO interleave factor
+//     --routing stream|memory                 inter-block array routing
+//     --lower-control                         counter loops for control seqs
+//     --dot                                   print Graphviz to stdout
+//     --run [waves]                           simulate with ramp inputs
+//     --classify                              only report the program class
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/paths.hpp"
+#include "core/compiler.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/lower.hpp"
+#include "dfg/stats.hpp"
+#include "machine/engine.hpp"
+#include "val/classify.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: valc [--scheme S] [--forall F] [--balance B] [--skip K]"
+               " [--batch N] [--routing R] [--dot] [--run [waves]]"
+               " [--classify] file.val\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valpipe;
+  core::CompileOptions opts;
+  bool dot = false, classifyOnly = false;
+  int runWaves = 0;
+  std::string path;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) usage();
+      return argv[++a];
+    };
+    if (arg == "--scheme") {
+      const std::string s = next();
+      opts.forIterScheme = s == "todd"      ? core::ForIterScheme::Todd
+                           : s == "companion" ? core::ForIterScheme::Companion
+                           : s == "longfifo"  ? core::ForIterScheme::LongFifo
+                           : s == "auto"      ? core::ForIterScheme::Auto
+                                              : (usage(), core::ForIterScheme::Auto);
+    } else if (arg == "--forall") {
+      const std::string s = next();
+      opts.forallScheme = s == "parallel" ? core::ForallScheme::Parallel
+                          : s == "pipeline" ? core::ForallScheme::Pipeline
+                                            : (usage(), core::ForallScheme::Pipeline);
+    } else if (arg == "--balance") {
+      const std::string s = next();
+      opts.balanceMode = s == "none"      ? core::BalanceMode::None
+                         : s == "longest" ? core::BalanceMode::LongestPath
+                         : s == "optimal" ? core::BalanceMode::Optimal
+                                          : (usage(), core::BalanceMode::Optimal);
+    } else if (arg == "--skip") {
+      opts.companionSkip = std::atoi(next().c_str());
+    } else if (arg == "--batch") {
+      opts.interleave = std::atoi(next().c_str());
+    } else if (arg == "--routing") {
+      const std::string s = next();
+      opts.routing = s == "memory" ? core::ArrayRouting::Memory
+                                   : core::ArrayRouting::Stream;
+    } else if (arg == "--lower-control") {
+      opts.lowerControl = true;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--classify") {
+      classifyOnly = true;
+    } else if (arg == "--run") {
+      runWaves = (a + 1 < argc && argv[a + 1][0] != '-' &&
+                  std::isdigit(static_cast<unsigned char>(argv[a + 1][0])))
+                     ? std::atoi(argv[++a])
+                     : 1;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) usage();
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "valc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << file.rdbuf();
+
+  try {
+    val::Module mod = core::frontend(buf.str());
+
+    if (classifyOnly) {
+      for (const val::Block& b : mod.blocks) {
+        std::string verdict;
+        if (b.isForall()) {
+          auto r = val::isPrimitiveForall(b, mod);
+          verdict = r ? "primitive forall" : "NOT primitive: " + r.reason;
+        } else if (auto s = val::isSimpleForIter(b, mod)) {
+          verdict = "simple for-iter (companion function exists)";
+        } else if (auto p = val::isPrimitiveForIter(b, mod)) {
+          verdict = "primitive for-iter, not simple: " +
+                    val::isSimpleForIter(b, mod).reason;
+        } else {
+          verdict = "NOT primitive: " + val::isPrimitiveForIter(b, mod).reason;
+        }
+        std::printf("%-10s %s\n", b.name.c_str(), verdict.c_str());
+      }
+      auto ps = val::isPipeStructured(mod);
+      std::printf("program: %s\n",
+                  ps ? "pipe-structured (Theorem 4 applies)"
+                     : ("not pipe-structured: " + ps.reason).c_str());
+      return 0;
+    }
+
+    const core::CompiledProgram prog = core::compile(mod, opts);
+    if (dot) {
+      std::fputs(dfg::toDot(prog.graph, path).c_str(), stdout);
+      return 0;
+    }
+
+    std::printf("%s -> %s %s\n", path.c_str(), prog.outputName.c_str(),
+                prog.outputRange.str().c_str());
+    std::printf("  %s\n", dfg::computeStats(prog.graph).str().c_str());
+    std::printf("  buffering: %zu stages in %zu FIFOs\n",
+                prog.balance.buffersInserted, prog.balance.fifoNodes);
+    for (const auto& b : prog.blocks) {
+      std::printf("  block %-8s %-24s", b.name.c_str(), b.scheme.c_str());
+      if (b.cycleStages > 0)
+        std::printf(" cycle %lld stages / %lld packets",
+                    static_cast<long long>(b.cycleStages),
+                    static_cast<long long>(b.cycleTokens));
+      std::printf("  predicted rate %.3f\n", b.predictedRate);
+    }
+
+    if (runWaves > 0) {
+      machine::StreamMap streams;
+      for (const auto& [name, range] : prog.inputs) {
+        std::vector<Value> v;
+        for (std::int64_t k = 0; k < prog.inputLengthPerWave(name); ++k)
+          v.push_back(Value(0.01 * static_cast<double>(k % 97)));
+        streams[name] = std::move(v);
+      }
+      machine::RunOptions ropts;
+      ropts.waves = runWaves;
+      ropts.expectedOutputs[prog.outputName] =
+          prog.expectedOutputPerWave() * runWaves;
+      const machine::MachineResult res =
+          machine::simulate(dfg::expandFifos(prog.graph),
+                            machine::MachineConfig::unit(), streams, ropts);
+      std::printf("  run: %s in %lld instruction times, steady rate %.3f\n",
+                  res.completed ? "completed" : res.note.c_str(),
+                  static_cast<long long>(res.cycles),
+                  res.steadyRate(prog.outputName));
+    }
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "valc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

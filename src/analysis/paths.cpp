@@ -1,0 +1,143 @@
+#include "analysis/paths.hpp"
+
+#include <queue>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace valpipe::analysis {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::PortSrc;
+
+std::vector<Arc> arcs(const Graph& g) {
+  std::vector<Arc> out;
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    const std::int64_t len = n.op == Op::Fifo ? n.fifoDepth : 1;
+    auto push = [&](const PortSrc& src, int port) {
+      if (!src.isArc()) return;
+      const std::int64_t shift = g.node(src.producer).phaseShift;
+      out.push_back(
+          {src.producer, id, port, len, len + 2 * shift, src.rigid, src.feedback});
+    };
+    for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
+      push(n.inputs[p], p);
+    if (n.gate) push(*n.gate, dfg::kGatePort);
+  }
+  return out;
+}
+
+std::optional<std::vector<NodeId>> topoOrder(const Graph& g) {
+  const std::size_t n = g.size();
+  std::vector<int> indeg(n, 0);
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (const Arc& a : arcs(g)) {
+    if (a.feedback) continue;
+    ++indeg[a.to.index];
+    succ[a.from.index].push_back(a.to.index);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push(v);
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.front();
+    ready.pop();
+    order.push_back(NodeId{v});
+    for (std::uint32_t w : succ[v])
+      if (--indeg[w] == 0) ready.push(w);
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+std::vector<std::int64_t> longestDepths(const Graph& g) {
+  auto order = topoOrder(g);
+  VALPIPE_CHECK_MSG(order.has_value(), "longestDepths requires acyclic graph");
+  std::vector<std::int64_t> depth(g.size(), 0);
+  // Group incoming arcs by consumer for a single pass in topo order.
+  std::vector<std::vector<Arc>> in(g.size());
+  for (const Arc& a : arcs(g))
+    if (!a.feedback) in[a.to.index].push_back(a);
+  for (NodeId id : *order)
+    for (const Arc& a : in[id.index])
+      depth[id.index] =
+          std::max(depth[id.index], depth[a.from.index] + a.length);
+  return depth;
+}
+
+BalanceReport checkBalanced(const Graph& g) {
+  BalanceReport rep;
+  const std::vector<Arc> all = arcs(g);
+
+  // Undirected traversal with offsets: fix one node per component at 0, then
+  // propagate d[to] = d[from] + length along every non-feedback arc in both
+  // directions; any contradiction is an unbalanced reconvergence.
+  const std::size_t n = g.size();
+  struct Half {
+    std::uint32_t other;
+    std::int64_t delta;  ///< d[other] - d[this]
+    const Arc* arc;
+  };
+  std::vector<std::vector<Half>> adj(n);
+  for (const Arc& a : all) {
+    if (a.feedback) continue;
+    adj[a.from.index].push_back({a.to.index, a.phaseLength, &a});
+    adj[a.to.index].push_back({a.from.index, -a.phaseLength, &a});
+  }
+
+  std::vector<std::int64_t> d(n, 0);
+  std::vector<char> seen(n, 0);
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    seen[root] = 1;
+    d[root] = 0;
+    std::vector<std::uint32_t> stack{root};
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      for (const Half& h : adj[u]) {
+        const std::int64_t want = d[u] + h.delta;
+        if (!seen[h.other]) {
+          seen[h.other] = 1;
+          d[h.other] = want;
+          stack.push_back(h.other);
+        } else if (d[h.other] != want) {
+          std::ostringstream os;
+          os << "arc #" << h.arc->from.index << " -> #" << h.arc->to.index
+             << " (phase length " << h.arc->phaseLength
+             << ") is inconsistent: depths "
+             << d[h.arc->from.index] << " vs " << d[h.arc->to.index];
+          rep.reason = os.str();
+          return rep;
+        }
+      }
+    }
+  }
+
+  // Normalize so every component's minimum is zero (cosmetic).
+  rep.balanced = true;
+  rep.depth = std::move(d);
+  return rep;
+}
+
+std::vector<CycleInfo> feedbackCycles(const Graph& g) {
+  std::vector<CycleInfo> out;
+  // Use longest depths over the acyclic part to measure the span of each
+  // feedback arc.  For rigid (fixed-length) loop bodies any consistent depth
+  // works; longest depths are consistent along rigid chains.
+  const std::vector<std::int64_t> depth = longestDepths(g);
+  for (const Arc& a : arcs(g)) {
+    if (!a.feedback) continue;
+    out.push_back(
+        {a.from, a.to, a.port, depth[a.from.index] - depth[a.to.index] + a.length});
+  }
+  return out;
+}
+
+}  // namespace valpipe::analysis

@@ -1,0 +1,75 @@
+// Path-length and balance analysis of instruction graphs (§3: a graph is
+// fully pipelined only if each path between reconvergent points passes
+// through the same number of instruction cells).
+//
+// Stage accounting: every cell adds one stage; a composite Fifo(k) adds k.
+// Feedback-flagged arcs are excluded (their cycles are analysed separately).
+// Sources (Input/BoolSeq/IndexSeq/AmFetch) are self-timed — they may sit at
+// any depth, so balance means "a consistent depth assignment exists", not
+// "all longest paths from depth-0 sources agree".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::analysis {
+
+/// One directed arc of the graph (operand or gate), with its stage length.
+struct Arc {
+  dfg::NodeId from;
+  dfg::NodeId to;
+  int port;             ///< consumer operand index or dfg::kGatePort
+  std::int64_t length;  ///< stages contributed: fifoDepth for Fifo consumers, else 1
+  /// Steady-state phase requirement: length + 2 * producer phaseShift.  A
+  /// selection gate for A[i+c] delivers packets that are consumed 2c
+  /// instruction times later on the consumer's index axis; full pipelining
+  /// needs this skew absorbed by buffering (the Fig. 4 FIFOs).
+  std::int64_t phaseLength;
+  bool rigid;
+  bool feedback;
+};
+
+/// All arcs of `g` in a flat list.
+std::vector<Arc> arcs(const dfg::Graph& g);
+
+/// Topological order over non-feedback arcs; nullopt if a cycle remains.
+std::optional<std::vector<dfg::NodeId>> topoOrder(const dfg::Graph& g);
+
+/// Longest path (in stages) from any source to each node over non-feedback
+/// arcs; sources get 0.  Requires acyclicity.
+std::vector<std::int64_t> longestDepths(const dfg::Graph& g);
+
+struct BalanceReport {
+  bool balanced = false;
+  /// A consistent depth assignment when balanced (indexed by node id).
+  std::vector<std::int64_t> depth;
+  /// Human-readable reason when unbalanced.
+  std::string reason;
+};
+
+/// Checks whether a consistent phase assignment d with d[to] = d[from] +
+/// phaseLength exists for every non-feedback arc — the paper's
+/// full-pipelining structural condition, including Fig. 4's selection-gate
+/// skew.
+BalanceReport checkBalanced(const dfg::Graph& g);
+
+/// A for-iter feedback cycle: the loop-closing arc plus the acyclic stage
+/// distance it spans.  With k-element dependence distance the loop's
+/// steady-state rate is k / stages (≤ 1/2; equality needs stages == 2k).
+struct CycleInfo {
+  dfg::NodeId from;     ///< producer of the feedback arc
+  dfg::NodeId to;       ///< consumer
+  int port;
+  std::int64_t stages;  ///< total cells around the cycle (incl. the back arc)
+};
+
+/// Stage counts of every feedback cycle (requires the rest to be balanced or
+/// at least acyclic).
+std::vector<CycleInfo> feedbackCycles(const dfg::Graph& g);
+
+}  // namespace valpipe::analysis

@@ -1,0 +1,187 @@
+#include "core/balance.hpp"
+
+#include <algorithm>
+
+#include "analysis/paths.hpp"
+#include "flow/difference_lp.hpp"
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+
+namespace valpipe::core {
+
+using analysis::Arc;
+using dfg::Graph;
+using dfg::NodeId;
+
+namespace {
+
+/// Strongly connected components over all arcs (including feedback): arcs
+/// with both endpoints in a non-trivial SCC lie on a for-iter cycle and are
+/// length-fixed.
+std::vector<int> sccIds(const Graph& g, const std::vector<Arc>& arcs) {
+  const int n = static_cast<int>(g.size());
+  std::vector<std::vector<int>> succ(n), pred(n);
+  for (const Arc& a : arcs) {
+    succ[a.from.index].push_back(static_cast<int>(a.to.index));
+    pred[a.to.index].push_back(static_cast<int>(a.from.index));
+  }
+  // Kosaraju.
+  std::vector<char> seen(n, 0);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    seen[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < succ[v].size()) {
+        const int w = succ[v][i++];
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> comp(n, -1);
+  int numComp = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (comp[*it] != -1) continue;
+    std::vector<int> stack{*it};
+    comp[*it] = numComp;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (int w : pred[v])
+        if (comp[w] == -1) {
+          comp[w] = numComp;
+          stack.push_back(w);
+        }
+    }
+    ++numComp;
+  }
+  return comp;
+}
+
+struct Plan {
+  std::vector<Arc> arcs;          ///< all arcs, flags refined with SCC info
+  std::vector<std::int64_t> depth;
+};
+
+/// Marks cycle arcs rigid and computes depths for the requested mode.
+Plan planDepths(const Graph& g, BalanceMode mode) {
+  Plan plan;
+  plan.arcs = analysis::arcs(g);
+  const std::vector<int> comp = sccIds(g, plan.arcs);
+  std::vector<int> compSize(g.size(), 0);
+  for (int c : comp) ++compSize[c];
+  for (Arc& a : plan.arcs)
+    if (!a.feedback && comp[a.from.index] == comp[a.to.index] &&
+        compSize[comp[a.from.index]] > 1)
+      a.rigid = true;
+
+  const int n = static_cast<int>(g.size());
+  if (mode == BalanceMode::Optimal) {
+    std::vector<flow::DiffConstraint> cons;
+    std::vector<flow::DiffObjectiveTerm> obj;
+    for (const Arc& a : plan.arcs) {
+      if (a.feedback) continue;
+      const int u = static_cast<int>(a.from.index);
+      const int v = static_cast<int>(a.to.index);
+      cons.push_back({u, v, a.phaseLength});
+      if (a.rigid)
+        cons.push_back({v, u, -a.phaseLength});  // equality
+      else
+        obj.push_back({u, v, 1});
+    }
+    auto d = flow::solveDifferenceLP(n, cons, obj);
+    if (!d)
+      throw CompileError(
+          "balancing failed: inconsistent stage constraints (fixed-length "
+          "cycle conflicts with an acyclic path)");
+    plan.depth = std::move(*d);
+    return plan;
+  }
+
+  // LongestPath: fixed-point relaxation.  Rigid arcs push in both directions
+  // (equality); everything starts at 0.
+  plan.depth.assign(n, 0);
+  bool changed = true;
+  int rounds = 0;
+  while (changed) {
+    changed = false;
+    if (++rounds > n + 2)
+      throw CompileError("balancing failed: rigid constraints diverge");
+    for (const Arc& a : plan.arcs) {
+      if (a.feedback) continue;
+      const auto u = a.from.index;
+      const auto v = a.to.index;
+      if (plan.depth[v] < plan.depth[u] + a.phaseLength) {
+        plan.depth[v] = plan.depth[u] + a.phaseLength;
+        changed = true;
+      }
+      if (a.rigid && plan.depth[u] < plan.depth[v] - a.phaseLength) {
+        plan.depth[u] = plan.depth[v] - a.phaseLength;
+        changed = true;
+      }
+    }
+  }
+  return plan;
+}
+
+std::size_t totalSlack(const Plan& plan) {
+  std::size_t total = 0;
+  for (const Arc& a : plan.arcs) {
+    if (a.feedback || a.rigid) continue;
+    const std::int64_t slack =
+        plan.depth[a.to.index] - plan.depth[a.from.index] - a.phaseLength;
+    VALPIPE_CHECK_MSG(slack >= 0, "negative slack after balancing");
+    total += static_cast<std::size_t>(slack);
+  }
+  return total;
+}
+
+}  // namespace
+
+BalanceOutcome balanceGraph(Graph& g, BalanceMode mode) {
+  BalanceOutcome outcome;
+  outcome.mode = mode;
+  if (mode == BalanceMode::None) return outcome;
+
+  const Plan plan = planDepths(g, mode);
+  for (const Arc& a : plan.arcs) {
+    const std::int64_t slack =
+        plan.depth[a.to.index] - plan.depth[a.from.index] - a.phaseLength;
+    if (a.feedback || a.rigid) {
+      VALPIPE_CHECK_MSG(a.feedback || slack == 0,
+                        "rigid arc acquired slack during balancing");
+      continue;
+    }
+    if (slack <= 0) continue;
+    // Copy the port first: g.fifo() appends a node, which may reallocate the
+    // node storage and invalidate references into it.
+    const dfg::PortSrc orig = a.port == dfg::kGatePort
+                                  ? *g.node(a.to).gate
+                                  : g.node(a.to).inputs[a.port];
+    const dfg::PortSrc wrapped = g.fifo(orig, static_cast<int>(slack), "bal");
+    dfg::Node& consumer = g.node(a.to);
+    if (a.port == dfg::kGatePort)
+      consumer.gate = wrapped;
+    else
+      consumer.inputs[a.port] = wrapped;
+    outcome.buffersInserted += static_cast<std::size_t>(slack);
+    ++outcome.fifoNodes;
+  }
+  return outcome;
+}
+
+std::size_t plannedBuffering(const Graph& g, BalanceMode mode) {
+  if (mode == BalanceMode::None) return 0;
+  return totalSlack(planDepths(g, mode));
+}
+
+}  // namespace valpipe::core

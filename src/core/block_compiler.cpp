@@ -1,0 +1,517 @@
+#include "core/block_compiler.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+#include "val/classify.hpp"
+#include "val/constfold.hpp"
+
+namespace valpipe::core {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::OutTag;
+using dfg::PortSrc;
+using val::Expr;
+using val::ExprPtr;
+
+namespace {
+
+std::string accessKey(const std::string& array, std::int64_t offset) {
+  return array + "@" + std::to_string(offset);
+}
+
+std::string accessKey2(const std::string& array, std::int64_t c1,
+                       std::int64_t c2) {
+  return array + "@" + std::to_string(c1) + "," + std::to_string(c2);
+}
+
+/// Does any environment on the chain bind `key` locally?  (Then the direct-
+/// gate shortcut must not bypass it — e.g. the for-iter feedback stream.)
+bool chainBinds(const BlockCompiler::Env* env, const std::string& key) {
+  for (; env != nullptr; env = env->parent)
+    if (env->names.count(key)) return true;
+  return false;
+}
+
+constexpr const char* kIndexKey = "@i";
+constexpr const char* kIndexKey2 = "@j";
+
+dfg::Op binOpFor(val::BinOp op) {
+  switch (op) {
+    case val::BinOp::Add: return Op::Add;
+    case val::BinOp::Sub: return Op::Sub;
+    case val::BinOp::Mul: return Op::Mul;
+    case val::BinOp::Div: return Op::Div;
+    case val::BinOp::Lt: return Op::Lt;
+    case val::BinOp::Le: return Op::Le;
+    case val::BinOp::Gt: return Op::Gt;
+    case val::BinOp::Ge: return Op::Ge;
+    case val::BinOp::Eq: return Op::Eq;
+    case val::BinOp::Ne: return Op::Ne;
+    case val::BinOp::And: return Op::And;
+    case val::BinOp::Or: return Op::Or;
+  }
+  VALPIPE_UNREACHABLE("binop");
+}
+
+std::optional<Value> foldBinary(val::BinOp op, const Value& a, const Value& b) {
+  try {
+    switch (op) {
+      case val::BinOp::Add: return ops::add(a, b);
+      case val::BinOp::Sub: return ops::sub(a, b);
+      case val::BinOp::Mul: return ops::mul(a, b);
+      case val::BinOp::Div: return ops::div(a, b);
+      case val::BinOp::Lt: return ops::lt(a, b);
+      case val::BinOp::Le: return ops::le(a, b);
+      case val::BinOp::Gt: return ops::gt(a, b);
+      case val::BinOp::Ge: return ops::ge(a, b);
+      case val::BinOp::Eq: return ops::eq(a, b);
+      case val::BinOp::Ne: return ops::ne(a, b);
+      case val::BinOp::And: return ops::logicalAnd(a, b);
+      case val::BinOp::Or: return ops::logicalOr(a, b);
+    }
+  } catch (const ValueError&) {
+    // fall through: build a cell, fault at run time
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+BlockCompiler::BlockCompiler(Graph& g, const val::Module& m,
+                             const CompileOptions& opts,
+                             const std::map<std::string, ArraySource>& arrays,
+                             std::string idxVar, val::Range sweep,
+                             std::int64_t repl)
+    : g_(g), m_(m), opts_(opts), arrays_(arrays), idxVar_(std::move(idxVar)),
+      sweep_(sweep), repl_(repl) {
+  VALPIPE_CHECK(sweep_.lo <= sweep_.hi);
+  VALPIPE_CHECK(repl_ >= 1);
+  envs_.emplace_back();
+  root_ = &envs_.back();
+  root_->sel.assign(static_cast<std::size_t>(flatLength()), true);
+}
+
+BlockCompiler::BlockCompiler(Graph& g, const val::Module& m,
+                             const CompileOptions& opts,
+                             const std::map<std::string, ArraySource>& arrays,
+                             std::string idxVar, val::Range sweep,
+                             std::string idxVar2, val::Range sweep2)
+    : g_(g), m_(m), opts_(opts), arrays_(arrays), idxVar_(std::move(idxVar)),
+      sweep_(sweep), idxVar2_(std::move(idxVar2)), sweep2_(sweep2), repl_(1) {
+  VALPIPE_CHECK(sweep_.lo <= sweep_.hi);
+  VALPIPE_CHECK(sweep2_.lo <= sweep2_.hi);
+  VALPIPE_CHECK(!idxVar2_.empty());
+  envs_.emplace_back();
+  root_ = &envs_.back();
+  root_->sel.assign(static_cast<std::size_t>(flatLength()), true);
+}
+
+bool BlockCompiler::fullyStatic(const Env& env) const {
+  for (const Env* e = &env; e != nullptr; e = e->parent)
+    if (!e->staticSel) return false;
+  return true;
+}
+
+void BlockCompiler::bindName(Env& env, const std::string& name,
+                             dfg::PortSrc stream) {
+  env.names[name] = stream;
+}
+
+void BlockCompiler::bindAccess(Env& env, const std::string& array,
+                               std::int64_t offset, dfg::PortSrc stream) {
+  env.names[accessKey(array, offset)] = stream;
+}
+
+PortSrc BlockCompiler::boolSeq(const std::vector<bool>& bits,
+                               const std::string& label) {
+  dfg::BoolPattern pattern;
+  pattern.bits.reserve(bits.size() * static_cast<std::size_t>(repl_));
+  for (bool b : bits)
+    for (std::int64_t r = 0; r < repl_; ++r) pattern.bits.push_back(b);
+  std::string key(pattern.bits.size(), '0');
+  for (std::size_t i = 0; i < pattern.bits.size(); ++i)
+    key[i] = pattern.bits[i] ? '1' : '0';
+  auto it = boolSeqCache_.find(key);
+  if (it != boolSeqCache_.end()) return Graph::out(it->second);
+  const NodeId id = g_.boolSeq(std::move(pattern), label);
+  boolSeqCache_[key] = id;
+  return Graph::out(id);
+}
+
+PortSrc BlockCompiler::literalStream(const Value& v, std::int64_t count) {
+  // A merge metered by an all-true control sequence: fires once per control
+  // packet and forwards the literal operand each time.
+  const PortSrc ctl = boolSeq(std::vector<bool>(static_cast<std::size_t>(count),
+                                                true),
+                              "const-meter");
+  return Graph::out(g_.merge(ctl, Graph::lit(v), Graph::lit(v), "const"));
+}
+
+/// Root-level creation of leaf streams: "A@c" / "A@c1,c2" selection gates
+/// and the index streams, for a statically known selection `sel` over the
+/// (flattened) sweep.
+PortSrc BlockCompiler::makeRootKey(const std::string& key,
+                                   const std::vector<bool>& sel) {
+  auto gateBySel = [&](NodeId seq, const char* what) {
+    bool all = true;
+    for (bool b : sel) all = all && b;
+    if (all) return Graph::out(seq);
+    const PortSrc ctl = boolSeq(sel, std::string("sel-") + what);
+    return Graph::outT(
+        g_.gatedIdentity(Graph::out(seq), ctl, std::string("gate-") + what));
+  };
+  if (key == kIndexKey) {
+    // Row index: each value held for `width` packets (1 for 1-D blocks).
+    const NodeId seq = g_.indexSeq(sweep_.lo, sweep_.hi, width() * repl_, "i");
+    return gateBySel(seq, "i");
+  }
+  if (key == kIndexKey2) {
+    VALPIPE_CHECK(is2d());
+    // Column index: cycles once per row.
+    const NodeId seq =
+        g_.indexSeq(sweep2_.lo, sweep2_.hi, 1, "j", sweep_.length());
+    return gateBySel(seq, "j");
+  }
+
+  // "A@c" / "A@c1,c2": selection gate from the array's stream.
+  const auto at = key.rfind('@');
+  VALPIPE_CHECK(at != std::string::npos);
+  const std::string array = key.substr(0, at);
+  const std::string offs = key.substr(at + 1);
+  const auto comma = offs.find(',');
+  const std::int64_t c1 = std::stoll(offs.substr(0, comma));
+  const bool access2d = comma != std::string::npos;
+  const std::int64_t c2 = access2d ? std::stoll(offs.substr(comma + 1)) : 0;
+
+  auto it = arrays_.find(array);
+  if (it == arrays_.end())
+    throw CompileError("unknown array '" + array + "' in block body");
+  const ArraySource& src = it->second;
+  VALPIPE_CHECK_MSG(access2d == src.range2.has_value(),
+                    "access dimensionality mismatch (typecheck bug)");
+  if (is2d() && !access2d) return makeRowBroadcast(array, c1, src, sel);
+  const val::Range& full = src.range;
+  const std::int64_t fullW = src.width();
+  const std::int64_t fullLo2 = src.range2 ? src.range2->lo : 0;
+
+  // For every packet position of the producer's stream, decide whether some
+  // selected sweep position consumes it, and record the (first) consumer
+  // packet position for the phase shift.
+  const std::int64_t prodLen = src.streamLength();
+  std::vector<bool> keep(static_cast<std::size_t>(prodLen), false);
+  bool all = true;
+  std::optional<std::int64_t> shift;
+  for (std::int64_t p = 0; p < prodLen; ++p) {
+    const std::int64_t row = full.lo + p / fullW;    // array element (row, col)
+    const std::int64_t col = fullLo2 + p % fullW;
+    const std::int64_t i = row - c1;                 // consuming sweep indices
+    const std::int64_t j = access2d ? col - c2 : sweep2_.lo;
+    bool wanted = sweep_.contains(i);
+    if (is2d()) wanted = wanted && sweep2_.contains(j);
+    std::int64_t cpos = 0;
+    if (wanted) {
+      cpos = (i - sweep_.lo) * width() + (is2d() ? j - sweep2_.lo : 0);
+      wanted = sel[static_cast<std::size_t>(cpos)];
+    }
+    keep[static_cast<std::size_t>(p)] = wanted;
+    all = all && wanted;
+    if (wanted && !shift) shift = p - cpos;
+  }
+  if (!shift) shift = 0;  // nothing selected: gate discards everything
+
+  if (all && *shift == 0) return src.stream;  // used as-is, aligned
+  std::ostringstream label;
+  label << array << "[" << idxVar_;
+  if (c1 > 0) label << "+" << c1;
+  if (c1 < 0) label << c1;
+  if (access2d) {
+    label << "," << idxVar2_;
+    if (c2 > 0) label << "+" << c2;
+    if (c2 < 0) label << c2;
+  }
+  label << "]";
+  if (all) {
+    // No discarding needed, but the stream is consumed at shifted packet
+    // positions; an identity cell carries the phase shift for the balancer.
+    const NodeId id = g_.identity(src.stream, label.str() + "-skew");
+    g_.node(id).phaseShift = *shift;
+    return Graph::out(id);
+  }
+  const PortSrc ctl = boolSeq(keep, "sel " + label.str());
+  const NodeId gate = g_.gatedIdentity(src.stream, ctl, label.str());
+  // Token timing (Fig. 4 skew): the gate fires the producer's p-th packet,
+  // which is consumed at the block's cpos-th position; the difference is the
+  // phase shift buffering must absorb.  (For 2-D streams of differing widths
+  // the shift varies per row; the first active position is used and the
+  // residual absorbed dynamically at a possible rate cost.)
+  g_.node(gate).phaseShift = *shift;
+  return Graph::outT(gate);
+}
+
+PortSrc BlockCompiler::makeRowBroadcast(const std::string& array,
+                                        std::int64_t c1, const ArraySource& src,
+                                        const std::vector<bool>& sel) {
+  VALPIPE_CHECK(is2d());
+  const val::Range& full = src.range;
+  const std::int64_t W = width();
+
+  // Per producer element j: which selected flat positions of row i = j - c1
+  // consume it?  The row stream delivers one packet per row with >= 1
+  // selected position; a hold loop then re-emits it once per selected
+  // position (merge control F at each row's first position, T elsewhere).
+  std::vector<bool> rowKeep(static_cast<std::size_t>(full.length()), false);
+  std::vector<bool> ctlBits;   // over all selected positions, in order
+  std::vector<bool> outBits;   // merge gate: F at each row's last position
+  std::optional<std::int64_t> shift;
+  for (std::int64_t r = 0; r < sweep_.length(); ++r) {
+    std::int64_t first = -1, count = 0;
+    for (std::int64_t q = 0; q < W; ++q) {
+      const std::size_t pos = static_cast<std::size_t>(r * W + q);
+      if (!sel[pos]) continue;
+      if (first < 0) first = r * W + q;
+      ++count;
+    }
+    if (count == 0) continue;
+    const std::int64_t j = sweep_.lo + r + c1;  // producer element this row reads
+    VALPIPE_CHECK_MSG(full.contains(j), "row access out of range");
+    rowKeep[static_cast<std::size_t>(j - full.lo)] = true;
+    if (!shift) shift = (j - full.lo) - first;
+    for (std::int64_t k = 0; k < count; ++k) {
+      ctlBits.push_back(k != 0);           // F takes the fresh row packet
+      outBits.push_back(k + 1 != count);   // F drops after the row's last use
+    }
+  }
+  bool allRows = true;
+  for (bool b : rowKeep) allRows = allRows && b;
+
+  std::ostringstream label;
+  label << array << "[" << idxVar_;
+  if (c1 > 0) label << "+" << c1;
+  if (c1 < 0) label << c1;
+  label << "]";
+
+  PortSrc rowStream = src.stream;
+  if (!allRows) {
+    const PortSrc ctl = boolSeq(rowKeep, "sel " + label.str());
+    const NodeId gate = g_.gatedIdentity(src.stream, ctl, label.str());
+    g_.node(gate).phaseShift = shift.value_or(0);
+    rowStream = Graph::outT(gate);
+  } else if (shift.value_or(0) != 0) {
+    const NodeId id = g_.identity(src.stream, label.str() + "-skew");
+    g_.node(id).phaseShift = *shift;
+    rowStream = Graph::out(id);
+  }
+
+  // Hold loop: MERGE(ctl, tIn = held value, fIn = fresh row packet) whose
+  // gate feeds all but each row's last result back through one identity.
+  const NodeId mergeId = g_.merge(boolSeq(ctlBits, "hold-ctl " + label.str()),
+                                  Graph::lit(Value(0)),  // patched below
+                                  rowStream, "hold " + label.str());
+  g_.node(mergeId).gate = boolSeq(outBits, "hold-out " + label.str());
+  PortSrc fb = Graph::outT(mergeId);
+  fb.feedback = true;
+  const NodeId hold = g_.identity(fb, "hold-id " + label.str());
+  g_.node(mergeId).inputs[1] = Graph::out(hold);
+  return Graph::out(mergeId);
+}
+
+PortSrc BlockCompiler::resolveKey(Env& env, const std::string& key) {
+  auto cached = env.cache.find(key);
+  if (cached != env.cache.end()) return cached->second;
+
+  PortSrc result;
+  if (auto own = env.names.find(key); own != env.names.end()) {
+    result = own->second;
+  } else if (env.parent == nullptr) {
+    result = makeRootKey(key, env.sel);
+  } else if (key.find('@') != std::string::npos && fullyStatic(env) &&
+             !chainBinds(&env, key)) {
+    // Fully static selection: make a direct selection gate from the producer
+    // instead of chaining through every enclosing arm (Fig. 6's one-gate-per-
+    // use construction).
+    result = makeRootKey(key, env.sel);
+  } else {
+    PortSrc base = resolveKey(*env.parent, key);
+    if (base.isLiteral() || !env.hasCtl) {
+      result = base;  // literals are index-independent; lets do not gate
+    } else {
+      VALPIPE_CHECK(env.armGates != nullptr);
+      auto gate = env.armGates->find(key);
+      NodeId gateId;
+      if (gate == env.armGates->end()) {
+        gateId = g_.gatedIdentity(base, env.armCtl, "route " + key);
+        (*env.armGates)[key] = gateId;
+      } else {
+        gateId = gate->second;
+      }
+      result = env.armTag == OutTag::T ? Graph::outT(gateId)
+                                       : Graph::outF(gateId);
+    }
+  }
+  env.cache[key] = result;
+  return result;
+}
+
+PortSrc BlockCompiler::compileIf(const ExprPtr& e, Env& env) {
+  // Index-only condition in a fully static context folds into a control
+  // sequence (Fig. 6); otherwise the condition is compiled as a stream
+  // (Fig. 5).
+  if (fullyStatic(env)) {
+    auto vals = is2d() ? val::evalOverIndex2(e->a, idxVar_, sweep_, idxVar2_,
+                                             sweep2_, m_.consts)
+                       : val::evalOverIndex(e->a, idxVar_, sweep_, m_.consts);
+    if (vals) {
+      // Bits restricted to the currently selected indices, in stream order.
+      std::vector<bool> condBits(vals->size());
+      bool allT = true, allF = true;
+      std::vector<bool> subBits;
+      for (std::size_t k = 0; k < vals->size(); ++k) {
+        condBits[k] = (*vals)[k].isBoolean() && (*vals)[k].asBoolean();
+        if (env.sel[k]) {
+          subBits.push_back(condBits[k]);
+          (condBits[k] ? allF : allT) = false;
+        }
+      }
+      if (subBits.empty() || allT) return compile(e->b, env);
+      if (allF) return compile(e->c, env);
+
+      const PortSrc ctl = boolSeq(subBits, "cond");
+      envs_.emplace_back();
+      Env& thenEnv = envs_.back();
+      envs_.emplace_back();
+      Env& elseEnv = envs_.back();
+      auto gates = std::make_shared<std::map<std::string, NodeId>>();
+      for (Env* arm : {&thenEnv, &elseEnv}) {
+        arm->parent = &env;
+        arm->staticSel = true;
+        arm->sel = env.sel;
+        arm->hasCtl = true;
+        arm->armCtl = ctl;
+        arm->armGates = gates;
+      }
+      thenEnv.armTag = OutTag::T;
+      elseEnv.armTag = OutTag::F;
+      for (std::size_t k = 0; k < condBits.size(); ++k) {
+        thenEnv.sel[k] = thenEnv.sel[k] && condBits[k];
+        elseEnv.sel[k] = elseEnv.sel[k] && !condBits[k];
+      }
+      const PortSrc tRes = compile(e->b, thenEnv);
+      const PortSrc fRes = compile(e->c, elseEnv);
+      return Graph::out(g_.merge(ctl, tRes, fRes, "if"));
+    }
+  }
+
+  // Dynamic condition.
+  const PortSrc ctl = compile(e->a, env);
+  if (ctl.isLiteral())
+    return compile(ctl.literal.asBoolean() ? e->b : e->c, env);
+
+  envs_.emplace_back();
+  Env& thenEnv = envs_.back();
+  envs_.emplace_back();
+  Env& elseEnv = envs_.back();
+  auto gates = std::make_shared<std::map<std::string, NodeId>>();
+  for (Env* arm : {&thenEnv, &elseEnv}) {
+    arm->parent = &env;
+    arm->staticSel = false;
+    arm->hasCtl = true;
+    arm->armCtl = ctl;
+    arm->armGates = gates;
+  }
+  thenEnv.armTag = OutTag::T;
+  elseEnv.armTag = OutTag::F;
+  const PortSrc tRes = compile(e->b, thenEnv);
+  const PortSrc fRes = compile(e->c, elseEnv);
+  return Graph::out(g_.merge(ctl, tRes, fRes, "if"));
+}
+
+PortSrc BlockCompiler::compile(const ExprPtr& e, Env& env) {
+  switch (e->kind) {
+    case Expr::Kind::IntLit: return Graph::lit(Value(e->intValue));
+    case Expr::Kind::RealLit: return Graph::lit(Value(e->realValue));
+    case Expr::Kind::BoolLit: return Graph::lit(Value(e->boolValue));
+
+    case Expr::Kind::Ident: {
+      if (chainBinds(&env, e->name)) return resolveKey(env, e->name);
+      if (e->name == idxVar_) return resolveKey(env, kIndexKey);
+      if (is2d() && e->name == idxVar2_) return resolveKey(env, kIndexKey2);
+      if (auto c = m_.consts.find(e->name); c != m_.consts.end())
+        return Graph::lit(Value(c->second));
+      if (auto s = opts_.scalarBindings.find(e->name);
+          s != opts_.scalarBindings.end())
+        return Graph::lit(s->second);
+      throw CompileError("unbound scalar '" + e->name + "' at " +
+                         e->loc.str() +
+                         " (scalar parameters need a load-time binding)");
+    }
+
+    case Expr::Kind::ArrayIndex: {
+      auto offset = val::arrayIndexOffset(e->a, idxVar_, m_.consts);
+      if (!offset)
+        throw CompileError("array index at " + e->loc.str() +
+                           " is not of the form " + idxVar_ + " + c");
+      if (e->isIndex2()) {
+        auto offset2 = val::arrayIndexOffset(e->b, idxVar2_, m_.consts);
+        if (!is2d() || !offset2)
+          throw CompileError("2-D selection at " + e->loc.str() +
+                             " is not of the form [" + idxVar_ + " + c1, " +
+                             idxVar2_ + " + c2]");
+        return resolveKey(env, accessKey2(e->name, *offset, *offset2));
+      }
+      return resolveKey(env, accessKey(e->name, *offset));
+    }
+
+    case Expr::Kind::Unary: {
+      const PortSrc a = compile(e->a, env);
+      if (a.isLiteral()) {
+        try {
+          return Graph::lit(e->uop == val::UnOp::Neg
+                                ? ops::neg(a.literal)
+                                : ops::logicalNot(a.literal));
+        } catch (const ValueError&) {
+          // build a cell and fault at run time
+        }
+      }
+      return Graph::out(
+          g_.unary(e->uop == val::UnOp::Neg ? Op::Neg : Op::Not, a));
+    }
+
+    case Expr::Kind::Binary: {
+      const PortSrc a = compile(e->a, env);
+      const PortSrc b = compile(e->b, env);
+      if (a.isLiteral() && b.isLiteral())
+        if (auto v = foldBinary(e->bop, a.literal, b.literal))
+          return Graph::lit(*v);
+      return Graph::out(g_.binary(binOpFor(e->bop), a, b));
+    }
+
+    case Expr::Kind::If:
+      return compileIf(e, env);
+
+    case Expr::Kind::Let: {
+      // A plain scope: same selection, no gating.
+      envs_.emplace_back();
+      Env& scope = envs_.back();
+      scope.parent = &env;
+      scope.staticSel = env.staticSel;
+      scope.sel = env.sel;
+      scope.hasCtl = false;
+      for (const val::Def& d : e->defs)
+        bindName(scope, d.name, compile(d.value, scope));
+      return compile(e->body, scope);
+    }
+  }
+  VALPIPE_UNREACHABLE("expr kind");
+}
+
+PortSrc BlockCompiler::compileBody(const std::vector<val::Def>& defs,
+                                   const ExprPtr& result, Env& env) {
+  for (const val::Def& d : defs) bindName(env, d.name, compile(d.value, env));
+  return compile(result, env);
+}
+
+}  // namespace valpipe::core

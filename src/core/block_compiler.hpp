@@ -1,0 +1,140 @@
+// Theorem 1 machinery: compile primitive expressions into fully pipelinable
+// instruction subgraphs.
+//
+// Streams and environments.  Inside one block every compiled stream carries
+// one packet per *selected* index value of the block's sweep [p, q].  The
+// root environment selects every index; an if-then-else creates two child
+// environments whose streams carry only the indices routed to that arm
+// (Fig. 5's tagged-destination identity cells).  Conditions that depend only
+// on the index variable are folded into boolean control sequences at compile
+// time (Fig. 6 / Todd [15]); data-dependent conditions are compiled into
+// ordinary boolean streams.  Array element accesses A[i+c] become selection
+// gates reading the producer's full stream and discarding unused elements
+// (Fig. 4); within statically selected contexts the gate pattern selects the
+// exact window directly from the producer.
+//
+// Literals stay literal operand fields (never streams), so constant arms and
+// coefficients cost no cells — matching the instruction format of §2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/options.hpp"
+#include "dfg/graph.hpp"
+#include "val/ast.hpp"
+
+namespace valpipe::core {
+
+/// A named array stream available to a block: the producer endpoint plus its
+/// manifest range(s).  2-D arrays stream row-major.
+struct ArraySource {
+  dfg::PortSrc stream;
+  val::Range range;
+  std::optional<val::Range> range2;
+
+  std::int64_t width() const { return range2 ? range2->length() : 1; }
+  std::int64_t streamLength() const { return range.length() * width(); }
+};
+
+class BlockCompiler {
+ public:
+  /// `repl` is the element-interleave factor (§9 LongFifo batches); every
+  /// control pattern and selection window is replicated accordingly.
+  BlockCompiler(dfg::Graph& g, const val::Module& m, const CompileOptions& opts,
+                const std::map<std::string, ArraySource>& arrays,
+                std::string idxVar, val::Range sweep, std::int64_t repl = 1);
+
+  /// Two-dimensional block (§9 extension): row index `idxVar` over `sweep`,
+  /// column index `idxVar2` over `sweep2`, elements row-major.
+  BlockCompiler(dfg::Graph& g, const val::Module& m, const CompileOptions& opts,
+                const std::map<std::string, ArraySource>& arrays,
+                std::string idxVar, val::Range sweep, std::string idxVar2,
+                val::Range sweep2);
+
+  struct Env;
+
+  /// The root environment (full sweep selected).
+  Env& root() { return *root_; }
+
+  /// Binds a name to a stream in `env` (let definitions, loop feedback).
+  void bindName(Env& env, const std::string& name, dfg::PortSrc stream);
+
+  /// Binds the array access `array[idxVar + offset]` to a stream (used for
+  /// the for-iter loop array T[i-1]).
+  void bindAccess(Env& env, const std::string& array, std::int64_t offset,
+                  dfg::PortSrc stream);
+
+  /// Compiles a primitive expression to a stream (or literal) over `env`'s
+  /// selected indices.
+  dfg::PortSrc compile(const val::ExprPtr& e, Env& env);
+
+  /// Compiles `defs` into `env`, then `result` (the §5 rule-5 shape).
+  dfg::PortSrc compileBody(const std::vector<val::Def>& defs,
+                           const val::ExprPtr& result, Env& env);
+
+  /// A BoolSeq source for one wave of `bits` (deduplicated across the block;
+  /// bits are given per index and replicated `repl` times each).
+  dfg::PortSrc boolSeq(const std::vector<bool>& bits, const std::string& label);
+
+  /// Materializes a literal as a stream of `count` tokens per wave (a merge
+  /// whose control sequence meters the length).
+  dfg::PortSrc literalStream(const Value& v, std::int64_t count);
+
+  dfg::Graph& graph() { return g_; }
+  std::int64_t repl() const { return repl_; }
+  const val::Range& sweep() const { return sweep_; }
+
+ private:
+  dfg::PortSrc resolveKey(Env& env, const std::string& key);
+  dfg::PortSrc makeRootKey(const std::string& key, const std::vector<bool>& sel);
+  /// A[i + c] inside a 2-D block: replicate each row packet of the 1-D
+  /// stream across the row's selected positions with a hold loop.
+  dfg::PortSrc makeRowBroadcast(const std::string& array, std::int64_t c1,
+                                const ArraySource& src,
+                                const std::vector<bool>& sel);
+  dfg::PortSrc compileIf(const val::ExprPtr& e, Env& env);
+  bool fullyStatic(const Env& env) const;
+
+  dfg::Graph& g_;
+  const val::Module& m_;
+  const CompileOptions& opts_;
+  const std::map<std::string, ArraySource>& arrays_;
+  std::string idxVar_;
+  val::Range sweep_;
+  std::string idxVar2_;            ///< empty for 1-D blocks
+  val::Range sweep2_{0, 0};
+  std::int64_t repl_;
+
+  bool is2d() const { return !idxVar2_.empty(); }
+  std::int64_t width() const { return is2d() ? sweep2_.length() : 1; }
+  std::int64_t flatLength() const { return sweep_.length() * width(); }
+
+  std::deque<Env> envs_;  ///< stable storage for environment chain
+  Env* root_;
+  std::map<std::string, dfg::NodeId> boolSeqCache_;
+};
+
+/// One lexical/selection context.  See header comment.
+struct BlockCompiler::Env {
+  Env* parent = nullptr;
+  /// Locally bound streams: let definitions, special access bindings
+  /// (key "A@c"), the index stream (key "@i").
+  std::map<std::string, dfg::PortSrc> names;
+  /// Static selection over the sweep; meaningful when staticSel.
+  bool staticSel = true;
+  std::vector<bool> sel;
+  /// Arm gating: streams crossing from the parent pass through a shared
+  /// tagged identity controlled by `armCtl`.
+  bool hasCtl = false;
+  dfg::PortSrc armCtl{};
+  dfg::OutTag armTag = dfg::OutTag::T;
+  std::shared_ptr<std::map<std::string, dfg::NodeId>> armGates;
+  /// Resolution cache for this context.
+  std::map<std::string, dfg::PortSrc> cache;
+};
+
+}  // namespace valpipe::core

@@ -1,0 +1,80 @@
+// Public entry point: compile a pipe-structured Val module into a fully
+// pipelined static dataflow instruction graph (Theorems 1–4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "dfg/graph.hpp"
+#include "val/ast.hpp"
+#include "val/typecheck.hpp"
+#include "val/types.hpp"
+
+namespace valpipe::core {
+
+/// Balancing statistics (the §8 buffer-cost discussion / C3 experiment).
+struct BalanceOutcome {
+  BalanceMode mode = BalanceMode::None;
+  std::size_t buffersInserted = 0;  ///< total identity stages added
+  std::size_t fifoNodes = 0;        ///< FIFO nodes created
+};
+
+/// Per-block compilation record.
+struct BlockReport {
+  std::string name;
+  std::string scheme;          ///< "forall/pipeline", "for-iter/companion", ...
+  std::int64_t cycleStages = 0;  ///< for-iter only: loop cycle length S
+  std::int64_t cycleTokens = 0;  ///< for-iter only: dependence distance k
+  /// Predicted steady-state rate in results per instruction time under the
+  /// unit timing model: min(1/2, k/S) for loops, 1/2 otherwise.
+  double predictedRate = 0.5;
+};
+
+struct CompiledProgram {
+  dfg::Graph graph;
+  /// Input stream name -> declared manifest range (first dimension).
+  std::map<std::string, val::Range> inputs;
+  /// Input stream name -> full declared type (carries 2-D ranges).
+  std::map<std::string, val::Type> inputTypes;
+  std::string outputName;
+  val::Range outputRange;
+  /// Full output type (carries the 2-D column range when present).
+  val::Type outputType;
+  BalanceOutcome balance;
+  std::vector<BlockReport> blocks;
+  /// Element-interleave factor (1 except under the LongFifo scheme, where
+  /// streams carry `interleave` independent instances per index).
+  std::int64_t interleave = 1;
+
+  /// Packets the output stream carries per wave.
+  std::int64_t expectedOutputPerWave() const {
+    const std::int64_t n =
+        outputType.isArray ? outputType.streamLength() : outputRange.length();
+    return n * interleave;
+  }
+  /// Packets input `name` carries per wave.
+  std::int64_t inputLengthPerWave(const std::string& name) const {
+    auto it = inputTypes.find(name);
+    return (it != inputTypes.end() ? it->second.streamLength()
+                                   : inputs.at(name).length()) *
+           interleave;
+  }
+  /// Minimum of the per-block predicted rates.
+  double predictedRate() const;
+};
+
+/// Compiles a parsed-and-typechecked module.  Throws CompileError when the
+/// module falls outside the supported class or an option is inapplicable.
+CompiledProgram compile(const val::Module& m, const CompileOptions& opts = {});
+
+/// Convenience: parse + typecheck + compile Val source.
+CompiledProgram compileSource(const std::string& source,
+                              const CompileOptions& opts = {});
+
+/// Parse + typecheck only (shared by tools/tests).
+val::Module frontend(const std::string& source);
+
+}  // namespace valpipe::core

@@ -1,0 +1,76 @@
+#include "core/schemes.hpp"
+
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+#include "val/constfold.hpp"
+
+namespace valpipe::core {
+
+using dfg::Graph;
+using dfg::PortSrc;
+using val::Block;
+using val::ForallBlock;
+
+dfg::PortSrc compileForallPipeline(Graph& g, const val::Module& m,
+                                   const CompileOptions& opts,
+                                   const std::map<std::string, ArraySource>& arrays,
+                                   const Block& b, BlockReport& report) {
+  const ForallBlock& fb = b.forall();
+  VALPIPE_CHECK(b.type.range.has_value());
+  report.name = b.name;
+  report.predictedRate = 0.5;
+  if (fb.is2d()) {
+    VALPIPE_CHECK(b.type.range2.has_value());
+    BlockCompiler bc(g, m, opts, arrays, fb.indexVar, *b.type.range,
+                     fb.indexVar2, *b.type.range2);
+    report.scheme = "forall2d/pipeline";
+    return bc.compileBody(fb.defs, fb.accum, bc.root());
+  }
+  BlockCompiler bc(g, m, opts, arrays, fb.indexVar, *b.type.range);
+  report.scheme = "forall/pipeline";
+  return bc.compileBody(fb.defs, fb.accum, bc.root());
+}
+
+dfg::PortSrc compileForallParallel(Graph& g, const val::Module& m,
+                                   const CompileOptions& opts,
+                                   const std::map<std::string, ArraySource>& arrays,
+                                   const Block& b, BlockReport& report) {
+  const ForallBlock& fb = b.forall();
+  if (fb.is2d())
+    throw CompileError(
+        "the parallel scheme is implemented for one-dimensional forall "
+        "blocks only (use the pipeline scheme for 2-D arrays)");
+  VALPIPE_CHECK(b.type.range.has_value());
+  const val::Range range = *b.type.range;
+  report.name = b.name;
+  report.scheme = "forall/parallel";
+  report.predictedRate = 0.5;
+
+  // One body copy per element: the index variable becomes a manifest
+  // constant, so conditions fold away and each array access taps a single
+  // element of the input stream.
+  std::vector<PortSrc> elems;
+  elems.reserve(static_cast<std::size_t>(range.length()));
+  for (std::int64_t i = range.lo; i <= range.hi; ++i) {
+    BlockCompiler bc(g, m, opts, arrays, fb.indexVar, val::Range{i, i});
+    elems.push_back(bc.compileBody(fb.defs, fb.accum, bc.root()));
+  }
+
+  // Reassemble in index order with a merge chain: merge #k forwards the
+  // first k+1 elements then admits element k+1.
+  BlockCompiler seq(g, m, opts, arrays, fb.indexVar, range);
+  if (elems.size() == 1) {
+    if (elems[0].isLiteral()) return seq.literalStream(elems[0].literal, 1);
+    return elems[0];
+  }
+  PortSrc acc = elems[0];
+  for (std::size_t k = 1; k < elems.size(); ++k) {
+    std::vector<bool> ctlBits(k + 1, true);
+    ctlBits.back() = false;
+    const PortSrc ctl = seq.boolSeq(ctlBits, "gather");
+    acc = Graph::out(g.merge(ctl, acc, elems[k], "gather"));
+  }
+  return acc;
+}
+
+}  // namespace valpipe::core

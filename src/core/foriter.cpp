@@ -1,0 +1,332 @@
+#include "core/schemes.hpp"
+
+#include <sstream>
+
+#include "analysis/paths.hpp"
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+#include "val/classify.hpp"
+#include "val/constfold.hpp"
+#include "val/linear.hpp"
+
+namespace valpipe::core {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::PortSrc;
+using val::Block;
+using val::ForIterBlock;
+
+namespace {
+
+struct LoopShape {
+  std::int64_t p, q, r, n;  ///< first/last appended index, initial index, count
+};
+
+LoopShape shapeOf(const Block& b) {
+  const ForIterBlock& fi = b.forIter();
+  VALPIPE_CHECK_MSG(fi.lastIndex.has_value(), "for-iter not typechecked");
+  LoopShape s;
+  s.q = *fi.lastIndex;
+  s.r = b.type.range->lo;
+  s.p = s.r + 1;
+  s.n = s.q - s.p + 1;
+  VALPIPE_CHECK(s.n >= 1);
+  return s;
+}
+
+/// Longest path (in cells) from `from` to `to` over operand/gate arcs;
+/// -1 when unreachable.  The graph must be acyclic here (the feedback loop
+/// is not closed yet).
+std::int64_t longestPathCells(const Graph& g, NodeId from, NodeId to) {
+  auto order = analysis::topoOrder(g);
+  VALPIPE_CHECK_MSG(order.has_value(), "loop body must be acyclic before the "
+                                       "feedback arc is closed");
+  const std::vector<analysis::Arc> arcs = analysis::arcs(g);
+  std::vector<std::vector<analysis::Arc>> in(g.size());
+  for (const analysis::Arc& a : arcs) in[a.to.index].push_back(a);
+  std::vector<std::int64_t> best(g.size(), -1);
+  best[from.index] = 0;
+  for (NodeId id : *order) {
+    for (const analysis::Arc& a : in[id.index]) {
+      if (best[a.from.index] < 0) continue;
+      best[id.index] = std::max(best[id.index], best[a.from.index] + a.length);
+    }
+  }
+  return best[to.index];
+}
+
+bool hasUses(const Graph& g, NodeId producer) {
+  for (NodeId id : g.ids()) {
+    const dfg::Node& n = g.node(id);
+    for (const PortSrc& in : n.inputs)
+      if (in.isArc() && in.producer == producer) return true;
+    if (n.gate && n.gate->isArc() && n.gate->producer == producer) return true;
+  }
+  return false;
+}
+
+/// Shared builder for the direct (Todd / long-FIFO) schemes: compile the body
+/// against a feedback proxy, close the loop through a single merge cell whose
+/// gate operand feeds all but the last `batch` results back (Fig. 7), padding
+/// the cycle to `targetStages` when requested (0 = no padding).
+PortSrc buildDirectLoop(Graph& g, const val::Module& m,
+                        const CompileOptions& opts,
+                        const std::map<std::string, ArraySource>& arrays,
+                        const Block& b, std::int64_t batch,
+                        std::int64_t targetStages, BlockReport& report) {
+  const ForIterBlock& fi = b.forIter();
+  const LoopShape s = shapeOf(b);
+
+  BlockCompiler bc(g, m, opts, arrays, fi.indexVar, val::Range{s.p, s.q}, batch);
+  const NodeId proxy = g.identity(Graph::lit(Value(0)), "fb-proxy");
+  bc.bindAccess(bc.root(), fi.accVar, -1, Graph::out(proxy));
+
+  const PortSrc bodyOut =
+      bc.compileBody(fi.defs, fi.appendValue, bc.root());
+  PortSrc init = bc.compile(fi.accInitValue, bc.root());
+  if (!init.isLiteral())
+    throw CompileError("for-iter initial element must fold to a load-time "
+                       "constant (primitive scalar expression)");
+
+  // Merge control <F T..T> per instance batch: the initial element first,
+  // then the n loop results (§7, Fig. 7).
+  std::vector<bool> ctlBits(static_cast<std::size_t>(s.n) + 1, true);
+  ctlBits[0] = false;
+  const PortSrc ctl = bc.boolSeq(ctlBits, "loop-ctl");
+
+  PortSrc tIn = bodyOut;
+  if (tIn.isLiteral()) {
+    // Degenerate recurrence independent of everything: meter the literal.
+    tIn = bc.literalStream(tIn.literal, s.n);
+  }
+  const NodeId mergeId = g.merge(ctl, tIn, init, "loop:" + b.name);
+
+  const bool cyclic = hasUses(g, proxy);
+  std::int64_t stages = 0;
+  if (cyclic) {
+    // Output switch control <T..T F>: all but the last result feed back.
+    std::vector<bool> outBits(static_cast<std::size_t>(s.n) + 1, true);
+    outBits.back() = false;
+    g.node(mergeId).gate = bc.boolSeq(outBits, "loop-out");
+
+    // Cycle length before padding: proxy -> body -> merge, plus the merge.
+    const std::int64_t bodyLen = longestPathCells(g, proxy, tIn.producer);
+    VALPIPE_CHECK(bodyLen >= 0);
+    stages = bodyLen + 1;
+    PortSrc fb = Graph::outT(mergeId);
+    fb.feedback = true;
+    if (targetStages > stages) {
+      fb = g.fifo(fb, static_cast<int>(targetStages - stages), "loop-pad");
+      stages = targetStages;
+    }
+    g.replaceUses(proxy, fb);
+  }
+
+  report.name = b.name;
+  report.cycleStages = stages;
+  report.cycleTokens = cyclic ? batch : 0;
+  report.predictedRate =
+      cyclic ? std::min(0.5, static_cast<double>(batch) /
+                                 static_cast<double>(stages))
+             : 0.5;
+  return Graph::out(mergeId);
+}
+
+// --- small literal-aware node builders for the companion pipeline ---
+
+PortSrc mkMul(Graph& g, PortSrc a, PortSrc b, const std::string& label) {
+  if (a.isLiteral() && b.isLiteral()) return Graph::lit(ops::mul(a.literal, b.literal));
+  return Graph::out(g.binary(Op::Mul, a, b, label));
+}
+PortSrc mkAdd(Graph& g, PortSrc a, PortSrc b, const std::string& label) {
+  if (a.isLiteral() && b.isLiteral()) return Graph::lit(ops::add(a.literal, b.literal));
+  return Graph::out(g.binary(Op::Add, a, b, label));
+}
+
+/// Drops the first `drop` packets of a `len`-packet stream (literals pass
+/// through untouched — they are index-independent).
+PortSrc dropFirst(BlockCompiler& bc, Graph& g, PortSrc s, std::int64_t drop,
+                  std::int64_t len, const std::string& label) {
+  if (s.isLiteral() || drop == 0) return s;
+  std::vector<bool> bits(static_cast<std::size_t>(len), true);
+  for (std::int64_t i = 0; i < drop; ++i) bits[static_cast<std::size_t>(i)] = false;
+  return Graph::outT(g.gatedIdentity(s, bc.boolSeq(bits, label), label));
+}
+
+/// Drops the last `drop` packets of a `len`-packet stream.  The surviving
+/// packet for element i is consumed while element i + drop is processed
+/// (the companion zip C(s)_{i-s}), so consumers see it `drop` index
+/// positions early — recorded as a negative phase shift so the balancer
+/// buffers the skew (Fig. 4's FIFO construction applied to Fig. 8).
+PortSrc dropLast(BlockCompiler& bc, Graph& g, PortSrc s, std::int64_t drop,
+                 std::int64_t len, const std::string& label) {
+  if (s.isLiteral() || drop == 0) return s;
+  std::vector<bool> bits(static_cast<std::size_t>(len), true);
+  for (std::int64_t i = 0; i < drop; ++i)
+    bits[static_cast<std::size_t>(len - 1 - i)] = false;
+  const dfg::NodeId gate =
+      g.gatedIdentity(s, bc.boolSeq(bits, label), label);
+  g.node(gate).phaseShift = -drop;
+  return Graph::outT(gate);
+}
+
+/// Selects packet `pos` (0-based) of a `len`-packet stream.
+PortSrc tapAt(BlockCompiler& bc, Graph& g, PortSrc s, std::int64_t pos,
+              std::int64_t len, const std::string& label) {
+  if (s.isLiteral()) return s;
+  std::vector<bool> bits(static_cast<std::size_t>(len), false);
+  bits[static_cast<std::size_t>(pos)] = true;
+  return Graph::outT(g.gatedIdentity(s, bc.boolSeq(bits, label), label));
+}
+
+}  // namespace
+
+PortSrc compileForIterTodd(Graph& g, const val::Module& m,
+                           const CompileOptions& opts,
+                           const std::map<std::string, ArraySource>& arrays,
+                           const Block& b, BlockReport& report) {
+  PortSrc out = buildDirectLoop(g, m, opts, arrays, b, 1, 0, report);
+  report.scheme = "for-iter/todd";
+  return out;
+}
+
+PortSrc compileForIterLongFifo(Graph& g, const val::Module& m,
+                               const CompileOptions& opts,
+                               const std::map<std::string, ArraySource>& arrays,
+                               const Block& b, int batch, BlockReport& report) {
+  if (batch < 2)
+    throw CompileError("long-FIFO scheme needs an interleave factor >= 2");
+  PortSrc out =
+      buildDirectLoop(g, m, opts, arrays, b, batch, 2 * batch, report);
+  std::ostringstream scheme;
+  scheme << "for-iter/longfifo(B=" << batch << ")";
+  report.scheme = scheme.str();
+  return out;
+}
+
+PortSrc compileForIterCompanion(Graph& g, const val::Module& m,
+                                const CompileOptions& opts,
+                                const std::map<std::string, ArraySource>& arrays,
+                                const Block& b, int k, BlockReport& report) {
+  const ForIterBlock& fi = b.forIter();
+  const LoopShape s = shapeOf(b);
+  if (k < 2 || (k & (k - 1)) != 0)
+    throw CompileError("companion skip must be a power of two >= 2");
+  if (k > s.n)
+    throw CompileError("companion skip exceeds the loop trip count");
+
+  auto lin = val::decomposeLinear(val::bodyExpression(fi), fi.accVar,
+                                  fi.indexVar, m.consts);
+  if (!lin)
+    throw CompileError(
+        "block '" + b.name +
+        "' is not a simple for-iter (recurrence is not first-order linear); "
+        "use the Todd scheme");
+
+  BlockCompiler bc(g, m, opts, arrays, fi.indexVar, val::Range{s.p, s.q});
+
+  // Parameter-vector streams a_i = (alpha_i, beta_i) over i in [p, q].
+  PortSrc c1 = bc.compile(lin->alpha, bc.root());
+  PortSrc c2 = bc.compile(lin->beta, bc.root());
+
+  PortSrc init = bc.compile(fi.accInitValue, bc.root());
+  if (!init.isLiteral())
+    throw CompileError("for-iter initial element must fold to a load-time "
+                       "constant (primitive scalar expression)");
+
+  // Prologue: x_{p-1} = init; x_{p+j-1} = alpha*x + beta directly for
+  // j = 1..k-1 ("code for initial values", Fig. 8).
+  std::vector<PortSrc> firstX;  // x_{p-1} .. x_{p+k-2}
+  firstX.push_back(init);
+  for (std::int64_t j = 1; j < k; ++j) {
+    const std::int64_t pos = j - 1;  // stream position of index p+j-1
+    const PortSrc aj = tapAt(bc, g, c1, pos, s.n, "a@" + std::to_string(j));
+    const PortSrc bj = tapAt(bc, g, c2, pos, s.n, "b@" + std::to_string(j));
+    firstX.push_back(
+        mkAdd(g, mkMul(g, aj, firstX.back(), "prologue*"), bj, "prologue+"));
+  }
+
+  // Companion pipeline: log2(k) doubling levels of
+  //   C(2s)_i = G(C(s)_i, C(s)_{i-s}),  G(a,b) = (a1*b1, a1*b2 + a2).
+  std::int64_t lo = s.p;  // first index the current pair stream is defined at
+  for (std::int64_t span = 1; span < k; span *= 2) {
+    const std::int64_t len = s.q - lo + 1;
+    const std::string lvl = "G" + std::to_string(2 * span);
+    const PortSrc a1 = dropFirst(bc, g, c1, span, len, lvl + ".a1");
+    const PortSrc a2 = dropFirst(bc, g, c2, span, len, lvl + ".a2");
+    const PortSrc b1 = dropLast(bc, g, c1, span, len, lvl + ".b1");
+    const PortSrc b2 = dropLast(bc, g, c2, span, len, lvl + ".b2");
+    c1 = mkMul(g, a1, b1, lvl + ".c1");
+    c2 = mkAdd(g, mkMul(g, a1, b2, lvl + ".t"), a2, lvl + ".c2");
+    lo += span;
+  }
+  VALPIPE_CHECK(lo == s.p + k - 1);
+  const std::int64_t loopCount = s.q - lo + 1;  // = n + 1 - k
+  VALPIPE_CHECK(loopCount >= 1);
+
+  // Initial-value sequencer: a merge chain emitting x_{p-1} .. x_{p+k-2}.
+  PortSrc fSeq = firstX[0];
+  for (std::int64_t j = 1; j < k; ++j) {
+    std::vector<bool> bits(static_cast<std::size_t>(j) + 1, true);
+    if (j == 1) {
+      // first merge: F (init) then T (x_p)
+      bits = {false, true};
+      fSeq = Graph::out(g.merge(bc.boolSeq(bits, "seq-ctl"), firstX[1], fSeq,
+                                "init-seq"));
+      continue;
+    }
+    bits.back() = false;
+    fSeq = Graph::out(g.merge(bc.boolSeq(bits, "seq-ctl"), fSeq, firstX[j],
+                              "init-seq"));
+  }
+  if (k >= 2 && fSeq.isLiteral()) {
+    // All initial values folded to the same literal chain — merge chains
+    // above only stay literal when k == 1, which is excluded; keep guard for
+    // completeness.
+    fSeq = bc.literalStream(fSeq.literal, k);
+  }
+
+  // The loop: x_i = C1_i * x_{i-k} + C2_i around a 2k-stage cycle holding k
+  // packets in flight.
+  const NodeId proxy = g.identity(Graph::lit(Value(0)), "fb-proxy");
+  const PortSrc mulOut = mkMul(g, c1, Graph::out(proxy), "loop*");
+  const PortSrc addOut = mkAdd(g, mulOut, c2, "loop+");
+  VALPIPE_CHECK(addOut.isArc());
+
+  std::vector<bool> ctlBits(static_cast<std::size_t>(s.n) + 1, true);
+  for (std::int64_t j = 0; j < k; ++j) ctlBits[static_cast<std::size_t>(j)] = false;
+  const NodeId mergeId =
+      g.merge(bc.boolSeq(ctlBits, "loop-ctl"), addOut, fSeq, "loop:" + b.name);
+
+  std::vector<bool> outBits(static_cast<std::size_t>(s.n) + 1, true);
+  for (std::int64_t j = 0; j < k; ++j)
+    outBits[static_cast<std::size_t>(s.n - j)] = false;
+  g.node(mergeId).gate = bc.boolSeq(outBits, "loop-out");
+
+  const std::int64_t bodyLen = longestPathCells(g, proxy, addOut.producer);
+  VALPIPE_CHECK(bodyLen >= 0);
+  std::int64_t stages = bodyLen + 1;  // + the merge cell
+  PortSrc fb = Graph::outT(mergeId);
+  fb.feedback = true;
+  if (2 * k > stages) {
+    // The inserted identity/FIFO keeps the loop at an even 2k stages
+    // ("necessary for maximum pipelining", §7).
+    fb = g.fifo(fb, static_cast<int>(2 * k - stages), "loop-pad");
+    stages = 2 * k;
+  }
+  g.replaceUses(proxy, fb);
+
+  report.name = b.name;
+  std::ostringstream scheme;
+  scheme << "for-iter/companion(k=" << k << ")";
+  report.scheme = scheme.str();
+  report.cycleStages = stages;
+  report.cycleTokens = k;
+  report.predictedRate =
+      std::min(0.5, static_cast<double>(k) / static_cast<double>(stages));
+  return Graph::out(mergeId);
+}
+
+}  // namespace valpipe::core

@@ -1,0 +1,66 @@
+// Compilation options selecting among the paper's mapping schemes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/value.hpp"
+
+namespace valpipe::core {
+
+/// §6: pipeline scheme (arrays as streams, Theorem 2) or the baseline
+/// parallel scheme (one body copy per element, "of limited interest").
+enum class ForallScheme { Pipeline, Parallel };
+
+/// §7 mapping of for-iter blocks.
+enum class ForIterScheme {
+  /// Companion-function scheme (Fig. 8) when the recurrence is simple,
+  /// falling back to Todd's scheme otherwise.
+  Auto,
+  /// Todd's scheme (Fig. 7): a p-stage feedback cycle, rate 1/p.
+  Todd,
+  /// Companion-pipeline scheme (Fig. 8, Theorem 3); requires a simple
+  /// (linear) recurrence.  Fails with CompileError otherwise.
+  Companion,
+  /// §9 alternative: trade delay for rate by interleaving `interleave`
+  /// independent recurrence instances through a long FIFO in the cycle.
+  LongFifo,
+};
+
+/// How FIFO buffering is assigned during balancing (§8).
+enum class BalanceMode {
+  None,         ///< leave the graph unbalanced (for the C1 experiment)
+  LongestPath,  ///< ASAP depths: simple polynomial balancing, §8 (1)
+  Optimal,      ///< minimum total buffering via the min-cost-flow dual, §8 (3)
+};
+
+/// How inter-block arrays travel (§2): as result-packet streams between
+/// processing elements (the paper's choice) or through the array memories
+/// (the conventional layout the 1/8-traffic claim is measured against).
+enum class ArrayRouting { Stream, Memory };
+
+struct CompileOptions {
+  ForallScheme forallScheme = ForallScheme::Pipeline;
+  ForIterScheme forIterScheme = ForIterScheme::Auto;
+  /// Dependence distance k for the companion scheme (power of two >= 2).
+  int companionSkip = 2;
+  /// Batch factor B for the LongFifo scheme (independent interleaved
+  /// instances; the cycle gets a FIFO making it 2B stages long).
+  int interleave = 4;
+  BalanceMode balanceMode = BalanceMode::Optimal;
+  ArrayRouting routing = ArrayRouting::Stream;
+  /// Load-time values for scalar parameters (bound as literal operands).
+  std::map<std::string, Value> scalarBindings;
+  /// Drop cells that cannot reach an output.
+  bool prune = true;
+  /// Lower BoolSeq/IndexSeq generators to machine-level counter loops
+  /// (Todd's construction).  The resulting counters are free-running, so run
+  /// such programs on the machine engine with expected output counts.
+  bool lowerControl = false;
+  /// Expand composite FIFOs into identity chains (required before machine
+  /// simulation; kept optional so graphs stay readable in DOT form).
+  bool lower = false;
+};
+
+}  // namespace valpipe::core

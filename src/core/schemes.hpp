@@ -1,0 +1,54 @@
+// Per-block mapping schemes (Theorems 2 and 3, plus the baselines).
+// Internal to the compiler; the public entry is core/compiler.hpp.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/block_compiler.hpp"
+#include "core/compiler.hpp"
+#include "dfg/graph.hpp"
+#include "val/ast.hpp"
+
+namespace valpipe::core {
+
+/// §6 pipeline scheme (Theorem 2): cascade the definition and accumulation
+/// graphs; selection gates feed the needed elements of each input stream.
+dfg::PortSrc compileForallPipeline(dfg::Graph& g, const val::Module& m,
+                                   const CompileOptions& opts,
+                                   const std::map<std::string, ArraySource>& arrays,
+                                   const val::Block& b, BlockReport& report);
+
+/// §6 parallel scheme (baseline): one constant-folded body copy per element,
+/// reassembled in index order by a merge chain.
+dfg::PortSrc compileForallParallel(dfg::Graph& g, const val::Module& m,
+                                   const CompileOptions& opts,
+                                   const std::map<std::string, ArraySource>& arrays,
+                                   const val::Block& b, BlockReport& report);
+
+/// Todd's for-iter scheme (Fig. 7): single merge cell closing a feedback
+/// cycle of S stages; rate 1/S.
+dfg::PortSrc compileForIterTodd(dfg::Graph& g, const val::Module& m,
+                                const CompileOptions& opts,
+                                const std::map<std::string, ArraySource>& arrays,
+                                const val::Block& b, BlockReport& report);
+
+/// Companion-pipeline scheme (Fig. 8, Theorem 3) with dependence distance
+/// `k` (power of two >= 2): an acyclic log2(k)-level tree of companion
+/// function applications feeds a 2k-stage cycle carrying k packets.
+dfg::PortSrc compileForIterCompanion(dfg::Graph& g, const val::Module& m,
+                                     const CompileOptions& opts,
+                                     const std::map<std::string, ArraySource>& arrays,
+                                     const val::Block& b, int k,
+                                     BlockReport& report);
+
+/// §9 long-FIFO scheme: `batch` independent recurrence instances interleaved
+/// element-wise; the cycle is padded with a FIFO to 2*batch stages.  Streams
+/// in and out of the block are element-interleaved.
+dfg::PortSrc compileForIterLongFifo(dfg::Graph& g, const val::Module& m,
+                                    const CompileOptions& opts,
+                                    const std::map<std::string, ArraySource>& arrays,
+                                    const val::Block& b, int batch,
+                                    BlockReport& report);
+
+}  // namespace valpipe::core

@@ -1,0 +1,74 @@
+#include "dfg/dot.hpp"
+
+#include <sstream>
+
+namespace valpipe::dfg {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  // Only quotes need escaping; backslashes in our labels are intentional
+  // Graphviz escapes ("\n" line breaks).
+  std::string out;
+  for (char c : s) {
+    if (c == '"') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string nodeLabel(const Node& n) {
+  std::ostringstream os;
+  os << mnemonic(n.op);
+  switch (n.op) {
+    case Op::BoolSeq: os << "\\n" << n.pattern.str(); break;
+    case Op::IndexSeq: os << "\\n[" << n.seqLo << ".." << n.seqHi << "]"; break;
+    case Op::Fifo: os << "(" << n.fifoDepth << ")"; break;
+    case Op::Input:
+    case Op::Output:
+    case Op::AmStore:
+    case Op::AmFetch: os << "\\n" << n.streamName; break;
+    default: break;
+  }
+  if (!n.label.empty()) os << "\\n" << n.label;
+  return os.str();
+}
+
+}  // namespace
+
+std::string toDot(const Graph& g, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(title) << "\" {\n"
+     << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    os << "  n" << id.index << " [label=\"" << escape(nodeLabel(n)) << "\"";
+    if (isSource(n.op)) os << ", style=filled, fillcolor=lightyellow";
+    if (n.op == Op::Output || n.op == Op::Sink || n.op == Op::AmStore)
+      os << ", style=filled, fillcolor=lightblue";
+    if (n.op == Op::Fifo) os << ", style=filled, fillcolor=lightgrey";
+    os << "];\n";
+  }
+  auto edge = [&](NodeId to, const PortSrc& src, int port) {
+    if (!src.isArc()) return;
+    os << "  n" << src.producer.index << " -> n" << to.index << " [";
+    std::string label;
+    if (src.tag == OutTag::T) label += "T";
+    if (src.tag == OutTag::F) label += "F";
+    if (port == kGatePort) label += label.empty() ? "gate" : ",gate";
+    if (!label.empty()) os << "label=\"" << label << "\", ";
+    if (port == kGatePort) os << "style=dotted, ";
+    if (src.feedback) os << "style=dashed, constraint=false, ";
+    os << "];\n";
+  };
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
+      edge(id, n.inputs[p], p);
+    if (n.gate) edge(id, *n.gate, kGatePort);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,15 @@
+// Graphviz export of instruction graphs, for inspecting compiled code the way
+// the paper presents it (Figs. 2, 4–8).
+#pragma once
+
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::dfg {
+
+/// Renders `g` as a Graphviz digraph.  T/F-tagged arcs are labelled; feedback
+/// arcs are drawn dashed; control-sequence sources show their pattern.
+std::string toDot(const Graph& g, const std::string& title = "dfg");
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,138 @@
+#include "dfg/expand_ctl.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+
+namespace valpipe::dfg {
+
+namespace {
+
+/// Builds the free-running counter j = 0, 1, 2, ... : a two-cell increment
+/// loop (ADD + identity) bootstrapped by a load-time token, followed by a
+/// MOD cell wrapping to the period.  Two cells with one packet in flight run
+/// at the machine's full 1/2 rate, so the generator never throttles the
+/// gates it feeds.  Returns the node emitting j mod period.
+NodeId buildCounter(Graph& g, std::int64_t period, const std::string& label) {
+  VALPIPE_CHECK(period >= 1);
+  Node addN;
+  addN.op = Op::Add;
+  addN.label = "ctr+1:" + label;
+  addN.inputs.resize(2);
+  addN.inputs[0] = Graph::lit(Value(std::int64_t{0}));  // patched below
+  addN.inputs[1] = Graph::lit(Value(std::int64_t{1}));
+  const NodeId add = g.add(std::move(addN));
+  const NodeId idn = g.identity(Graph::out(add), "ctr:" + label);
+
+  PortSrc back = Graph::out(idn);
+  back.feedback = true;
+  back.initial = Value(std::int64_t{-1});  // load-time token: first j is 0
+  g.node(add).inputs[0] = back;
+
+  return g.binary(Op::Mod, Graph::out(add), Graph::lit(Value(period)),
+                  "ctr%:" + label);
+}
+
+/// Comparison network turning the counter stream (positions 0..n-1) into the
+/// pattern's boolean values: one interval test per run of T's, OR-combined.
+PortSrc buildComparisons(Graph& g, NodeId counter, const BoolPattern& pattern,
+                         const std::string& label) {
+  const std::int64_t n = static_cast<std::int64_t>(pattern.length());
+  // Collect T-runs [start, end).
+  std::vector<std::pair<std::int64_t, std::int64_t>> runs;
+  std::int64_t i = 0;
+  while (i < n) {
+    if (!pattern.bits[static_cast<std::size_t>(i)]) {
+      ++i;
+      continue;
+    }
+    std::int64_t j = i;
+    while (j < n && pattern.bits[static_cast<std::size_t>(j)]) ++j;
+    runs.emplace_back(i, j);
+    i = j;
+  }
+
+  const PortSrc idx = Graph::out(counter);
+  if (runs.empty())  // all false: i < 0 never holds
+    return Graph::out(g.binary(Op::Lt, idx, Graph::lit(Value(std::int64_t{0})),
+                               label + ":allF"));
+
+  auto runTest = [&](std::int64_t s, std::int64_t e) -> PortSrc {
+    if (s == 0 && e == n)  // all true
+      return Graph::out(g.binary(Op::Ge, idx,
+                                 Graph::lit(Value(std::int64_t{0})),
+                                 label + ":allT"));
+    if (s + 1 == e)
+      return Graph::out(g.binary(Op::Eq, idx, Graph::lit(Value(s)),
+                                 label + ":eq"));
+    if (s == 0)
+      return Graph::out(g.binary(Op::Lt, idx, Graph::lit(Value(e)),
+                                 label + ":lt"));
+    if (e == n)
+      return Graph::out(g.binary(Op::Ge, idx, Graph::lit(Value(s)),
+                                 label + ":ge"));
+    const PortSrc ge = Graph::out(g.binary(Op::Ge, idx, Graph::lit(Value(s)),
+                                           label + ":ge"));
+    const PortSrc lt = Graph::out(g.binary(Op::Lt, idx, Graph::lit(Value(e)),
+                                           label + ":lt"));
+    return Graph::out(g.binary(Op::And, ge, lt, label + ":in"));
+  };
+
+  PortSrc acc = runTest(runs[0].first, runs[0].second);
+  for (std::size_t r = 1; r < runs.size(); ++r)
+    acc = Graph::out(g.binary(Op::Or, acc,
+                              runTest(runs[r].first, runs[r].second),
+                              label + ":or"));
+  return acc;
+}
+
+}  // namespace
+
+bool hasControlGenerators(const Graph& g) {
+  for (NodeId id : g.ids()) {
+    const Op op = g.node(id).op;
+    if (op == Op::BoolSeq || op == Op::IndexSeq) return true;
+  }
+  return false;
+}
+
+Graph expandControlGenerators(const Graph& g) {
+  // Copy all nodes first (ids preserved), then append counter subgraphs and
+  // rewire the generator's consumers.  The stale generator nodes become
+  // dead; prune them with pruneDead if cell counts matter.
+  Graph out;
+  for (NodeId id : g.ids()) {
+    Node copy = g.node(id);
+    out.add(std::move(copy));
+  }
+
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    if (n.op == Op::BoolSeq) {
+      const std::int64_t len = static_cast<std::int64_t>(n.pattern.length());
+      VALPIPE_CHECK(len >= 1);
+      const NodeId counter =
+          buildCounter(out, len, n.label.empty() ? "bseq" : n.label);
+      const PortSrc ctl = buildComparisons(out, counter, n.pattern,
+                                           n.label.empty() ? "bseq" : n.label);
+      out.replaceUses(id, ctl);
+    } else if (n.op == Op::IndexSeq) {
+      if (n.seqRepeat != 1)
+        throw CompileError(
+            "cannot lower a batched index generator (seqRepeat > 1) to a "
+            "counter loop");
+      const NodeId counter = buildCounter(out, n.seqHi - n.seqLo + 1,
+                                          n.label.empty() ? "iseq" : n.label);
+      PortSrc value = Graph::out(counter);
+      if (n.seqLo != 0)
+        value = Graph::out(out.binary(Op::Add, value,
+                                      Graph::lit(Value(n.seqLo)),
+                                      "ctr-base"));
+      out.replaceUses(id, value);
+    }
+  }
+  return out;
+}
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,42 @@
+// Lowering of control-sequence generators to machine-level counter loops —
+// the "straightforward arrangements of data flow instructions ... developed
+// by Todd [15]" that Figs. 4 and 6 presuppose.
+//
+// A BoolSeq of period n becomes:
+//
+//      (load-time token -1)
+//             |
+//             v
+//        [ ADD +1 ] <-- feedback -- [ ID ]      free-running j = 0,1,2,...
+//             |            \__________^
+//             +--> [ MOD n ] --> comparison network --> consumers
+//
+// a two-cell increment loop bootstrapped by a load-time operand token, a MOD
+// cell wrapping to the pattern period, and a small comparison network (one
+// GE/LT/EQ per run of T's, OR-combined) turning the position stream into the
+// boolean control values.  The loop holds one packet over two cells, so it
+// sustains exactly the machine's 1/2 maximum rate and never throttles the
+// gates it feeds.
+//
+// An IndexSeq lowers to the same counter with an ADD re-basing the value
+// when seqLo != 0 (seqRepeat must be 1 — batched interleaving keeps its
+// abstract generator).
+//
+// The lowered counters are free-running: they produce control values for as
+// long as consumers acknowledge.  Run the result on the machine engine with
+// `expectedOutputs` set (the untimed interpreter would spin the counters
+// forever once the data streams are exhausted).
+#pragma once
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::dfg {
+
+/// Replaces every BoolSeq / IndexSeq node by a counter + comparison
+/// subgraph.  Throws CompileError for IndexSeq nodes with seqRepeat > 1.
+Graph expandControlGenerators(const Graph& g);
+
+/// True when `g` contains no abstract control-sequence sources.
+bool hasControlGenerators(const Graph& g);
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,252 @@
+#include "dfg/graph.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace valpipe::dfg {
+
+BoolPattern BoolPattern::runs(std::size_t leadingF, std::size_t ts,
+                              std::size_t trailingF) {
+  BoolPattern p;
+  p.bits.reserve(leadingF + ts + trailingF);
+  p.bits.insert(p.bits.end(), leadingF, false);
+  p.bits.insert(p.bits.end(), ts, true);
+  p.bits.insert(p.bits.end(), trailingF, false);
+  return p;
+}
+
+BoolPattern BoolPattern::uniform(bool value, std::size_t n) {
+  BoolPattern p;
+  p.bits.assign(n, value);
+  return p;
+}
+
+std::string BoolPattern::str() const {
+  // Run-length rendering in the paper's style: "F T..T(4) F".
+  std::ostringstream os;
+  std::size_t i = 0;
+  bool first = true;
+  while (i < bits.size()) {
+    std::size_t j = i;
+    while (j < bits.size() && bits[j] == bits[i]) ++j;
+    const std::size_t run = j - i;
+    if (!first) os << ' ';
+    first = false;
+    const char c = bits[i] ? 'T' : 'F';
+    if (run == 1)
+      os << c;
+    else
+      os << c << ".." << c << '(' << run << ')';
+    i = j;
+  }
+  return os.str();
+}
+
+NodeId Graph::add(Node n) {
+  VALPIPE_CHECK_MSG(static_cast<int>(n.inputs.size()) == arity(n.op),
+                    std::string("arity mismatch for ") + mnemonic(n.op));
+  nodes_.push_back(std::move(n));
+  return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+Node& Graph::node(NodeId id) {
+  VALPIPE_CHECK(id.valid() && id.index < nodes_.size());
+  return nodes_[id.index];
+}
+
+const Node& Graph::node(NodeId id) const {
+  VALPIPE_CHECK(id.valid() && id.index < nodes_.size());
+  return nodes_[id.index];
+}
+
+NodeId Graph::unary(Op op, PortSrc a, std::string label) {
+  VALPIPE_CHECK(arity(op) == 1);
+  Node n;
+  n.op = op;
+  n.inputs = {a};
+  n.label = std::move(label);
+  return add(std::move(n));
+}
+
+NodeId Graph::binary(Op op, PortSrc a, PortSrc b, std::string label) {
+  VALPIPE_CHECK(arity(op) == 2);
+  Node n;
+  n.op = op;
+  n.inputs = {a, b};
+  n.label = std::move(label);
+  return add(std::move(n));
+}
+
+NodeId Graph::identity(PortSrc a, std::string label) {
+  return unary(Op::Id, a, std::move(label));
+}
+
+NodeId Graph::gatedIdentity(PortSrc data, PortSrc ctl, std::string label) {
+  Node n;
+  n.op = Op::Id;
+  n.inputs = {data};
+  n.gate = ctl;
+  n.label = std::move(label);
+  return add(std::move(n));
+}
+
+NodeId Graph::merge(PortSrc ctl, PortSrc tIn, PortSrc fIn, std::string label) {
+  Node n;
+  n.op = Op::Merge;
+  n.inputs = {ctl, tIn, fIn};
+  n.label = std::move(label);
+  return add(std::move(n));
+}
+
+NodeId Graph::boolSeq(BoolPattern pattern, std::string label) {
+  Node n;
+  n.op = Op::BoolSeq;
+  n.tokensPerWave = static_cast<std::int64_t>(pattern.length());
+  n.pattern = std::move(pattern);
+  n.label = std::move(label);
+  return add(std::move(n));
+}
+
+NodeId Graph::indexSeq(std::int64_t lo, std::int64_t hi, std::int64_t repeat,
+                       std::string label, std::int64_t tiles) {
+  VALPIPE_CHECK_MSG(lo <= hi, "empty index sequence");
+  VALPIPE_CHECK_MSG(repeat >= 1 && tiles >= 1, "bad index repeat/tiles");
+  Node n;
+  n.op = Op::IndexSeq;
+  n.seqLo = lo;
+  n.seqHi = hi;
+  n.seqRepeat = repeat;
+  n.tokensPerWave = (hi - lo + 1) * repeat * tiles;
+  n.label = std::move(label);
+  return add(std::move(n));
+}
+
+void Graph::replaceUses(NodeId oldProducer, PortSrc replacement) {
+  auto swap = [&](PortSrc& src) {
+    if (src.isArc() && src.producer == oldProducer) src = replacement;
+  };
+  for (Node& n : nodes_) {
+    for (PortSrc& in : n.inputs) swap(in);
+    if (n.gate) swap(*n.gate);
+  }
+}
+
+PortSrc Graph::fifo(PortSrc a, int depth, std::string label) {
+  VALPIPE_CHECK_MSG(depth >= 0, "negative FIFO depth");
+  if (depth == 0) return a;
+  Node n;
+  n.op = Op::Fifo;
+  n.inputs = {a};
+  n.fifoDepth = depth;
+  n.label = std::move(label);
+  return out(add(std::move(n)));
+}
+
+NodeId Graph::input(std::string name, std::int64_t tokensPerWave) {
+  VALPIPE_CHECK_MSG(tokensPerWave > 0, "input stream must carry packets");
+  Node n;
+  n.op = Op::Input;
+  n.streamName = std::move(name);
+  n.tokensPerWave = tokensPerWave;
+  return add(std::move(n));
+}
+
+NodeId Graph::output(std::string name, PortSrc src) {
+  Node n;
+  n.op = Op::Output;
+  n.inputs = {src};
+  n.streamName = std::move(name);
+  return add(std::move(n));
+}
+
+NodeId Graph::sink(PortSrc src, std::string label) {
+  Node n;
+  n.op = Op::Sink;
+  n.inputs = {src};
+  n.label = std::move(label);
+  return add(std::move(n));
+}
+
+NodeId Graph::amStore(std::string name, PortSrc src) {
+  Node n;
+  n.op = Op::AmStore;
+  n.inputs = {src};
+  n.streamName = std::move(name);
+  return add(std::move(n));
+}
+
+NodeId Graph::amFetch(std::string name, std::int64_t tokensPerWave) {
+  Node n;
+  n.op = Op::AmFetch;
+  n.streamName = std::move(name);
+  n.tokensPerWave = tokensPerWave;
+  return add(std::move(n));
+}
+
+std::vector<NodeId> Graph::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) out.push_back(NodeId{i});
+  return out;
+}
+
+std::vector<NodeId> Graph::inputNodes() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].op == Op::Input) out.push_back(NodeId{i});
+  return out;
+}
+
+std::vector<NodeId> Graph::outputNodes() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].op == Op::Output) out.push_back(NodeId{i});
+  return out;
+}
+
+NodeId Graph::findInput(const std::string& name) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].op == Op::Input && nodes_[i].streamName == name)
+      return NodeId{i};
+  return NodeId{};
+}
+
+NodeId Graph::findOutput(const std::string& name) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].op == Op::Output && nodes_[i].streamName == name)
+      return NodeId{i};
+  return NodeId{};
+}
+
+std::size_t Graph::loweredCellCount() const {
+  std::size_t cells = 0;
+  for (const auto& n : nodes_)
+    cells += n.op == Op::Fifo ? static_cast<std::size_t>(n.fifoDepth) : 1;
+  return cells;
+}
+
+Wiring::Wiring(const Graph& g) : dests_(g.size()) {
+  for (std::uint32_t i = 0; i < g.size(); ++i) {
+    const Node& n = g.node(NodeId{i});
+    for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p) {
+      const PortSrc& src = n.inputs[p];
+      if (src.isArc()) dests_[src.producer.index].push_back({NodeId{i}, p, src.tag});
+    }
+    if (n.gate && n.gate->isArc())
+      dests_[n.gate->producer.index].push_back({NodeId{i}, kGatePort, n.gate->tag});
+  }
+}
+
+std::vector<DestRef> Wiring::deliveredDests(NodeId producer,
+                                            std::optional<bool> gateVal) const {
+  std::vector<DestRef> out;
+  for (const DestRef& d : dests_[producer.index]) {
+    if (d.tag == OutTag::Always ||
+        (gateVal.has_value() && *gateVal == (d.tag == OutTag::T)))
+      out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,209 @@
+// The dataflow instruction graph IR.
+//
+// Nodes are instruction cells; an operand field is either a literal value or
+// an arc from a producer cell.  A producer's result packet is broadcast to
+// every consumer arc; a cell with a *gate* operand delivers additionally to
+// its T- or F-tagged consumers according to the gate's boolean value — the
+// paper's "boolean operand directs a result packet to destinations according
+// to a tag (T or F)".
+//
+// Arc flags used by the balancer (core/balance.hpp):
+//   - `rigid`:    the arc lies on a for-iter feedback cycle, whose length is
+//                 fixed by construction — no buffering may be inserted.
+//   - `feedback`: the loop-closing back arc — excluded from the (acyclic)
+//                 depth constraint system entirely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/opcode.hpp"
+#include "support/value.hpp"
+
+namespace valpipe::dfg {
+
+/// Index of a node within its Graph.
+struct NodeId {
+  std::uint32_t index = UINT32_MAX;
+
+  bool valid() const { return index != UINT32_MAX; }
+  friend bool operator==(NodeId, NodeId) = default;
+};
+
+/// Which destination class of a (possibly gated) producer an arc belongs to.
+enum class OutTag : std::uint8_t {
+  Always,  ///< delivered on every firing
+  T,       ///< delivered when the producer's gate operand is true
+  F,       ///< delivered when the producer's gate operand is false
+};
+
+/// One operand field: a literal, or an arc from `producer`'s `tag` output.
+struct PortSrc {
+  enum class Kind : std::uint8_t { Literal, Arc } kind = Kind::Literal;
+  Value literal{};          // Kind::Literal
+  NodeId producer{};        // Kind::Arc
+  OutTag tag = OutTag::Always;
+  bool rigid = false;       ///< arc on a fixed-length cycle; no buffering
+  bool feedback = false;    ///< loop-closing back arc; excluded from balancing
+  /// Token present on the arc when the program is loaded (§2: operand values
+  /// are part of the instruction-cell load image).  Used to bootstrap the
+  /// counter loops that realize control sequences (Todd [15]).
+  std::optional<Value> initial;
+
+  static PortSrc lit(Value v) {
+    PortSrc p;
+    p.kind = Kind::Literal;
+    p.literal = v;
+    return p;
+  }
+  static PortSrc arc(NodeId n, OutTag tag = OutTag::Always) {
+    PortSrc p;
+    p.kind = Kind::Arc;
+    p.producer = n;
+    p.tag = tag;
+    return p;
+  }
+  bool isArc() const { return kind == Kind::Arc; }
+  bool isLiteral() const { return kind == Kind::Literal; }
+};
+
+/// One wave's worth of a boolean control sequence.
+struct BoolPattern {
+  std::vector<bool> bits;
+
+  std::size_t length() const { return bits.size(); }
+  /// Pattern T^a F^b, optionally preceded by F^pre: used for element
+  /// selection gates.
+  static BoolPattern runs(std::size_t leadingF, std::size_t ts, std::size_t trailingF);
+  /// All bits equal.
+  static BoolPattern uniform(bool value, std::size_t n);
+  std::string str() const;  ///< e.g. "F T..T(4) F"
+};
+
+/// An instruction cell.
+struct Node {
+  Op op = Op::Id;
+  std::vector<PortSrc> inputs;       ///< data operands, arity(op) of them
+  std::optional<PortSrc> gate;       ///< optional boolean gate operand
+
+  // --- attributes (meaningful per op) ---
+  BoolPattern pattern;               ///< BoolSeq: one wave of control values
+  std::int64_t seqLo = 0;            ///< IndexSeq: first index
+  std::int64_t seqHi = -1;           ///< IndexSeq: last index
+  std::int64_t seqRepeat = 1;        ///< IndexSeq: emit each value this often
+                                     ///< (element-interleaved batches, §9)
+  int fifoDepth = 0;                 ///< Fifo: number of identity stages
+  std::string streamName;            ///< Input/Output/AmStore/AmFetch
+  std::int64_t tokensPerWave = -1;   ///< sources: packets emitted per wave
+  std::string label;                 ///< debug / DOT annotation
+  /// Index re-labelling between this cell's firing axis and its consumers'
+  /// axis: a selection gate for A[i+c] fires per array element j but its
+  /// result is consumed while computing element i = j - c, so consumers see
+  /// the packet 2*c instruction times "later" per §3's steady-state timing.
+  /// The balancer turns this into extra FIFO slack (Fig. 4's skew buffers).
+  std::int64_t phaseShift = 0;
+
+  bool hasGate() const { return gate.has_value(); }
+};
+
+/// A machine-level dataflow program: the instruction cells plus named stream
+/// endpoints.  Construction helpers return the new node's id; use
+/// Graph::out/outT/outF to form operand fields referencing it.
+class Graph {
+ public:
+  NodeId add(Node n);
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  Node& operator[](NodeId id) { return node(id); }
+  const Node& operator[](NodeId id) const { return node(id); }
+
+  // --- operand-field helpers ---
+  static PortSrc out(NodeId n) { return PortSrc::arc(n, OutTag::Always); }
+  static PortSrc outT(NodeId n) { return PortSrc::arc(n, OutTag::T); }
+  static PortSrc outF(NodeId n) { return PortSrc::arc(n, OutTag::F); }
+  static PortSrc lit(Value v) { return PortSrc::lit(v); }
+
+  // --- construction sugar ---
+  NodeId unary(Op op, PortSrc a, std::string label = {});
+  NodeId binary(Op op, PortSrc a, PortSrc b, std::string label = {});
+  NodeId identity(PortSrc a, std::string label = {});
+  /// Gated identity — the paper's element-selection / routing switch: result
+  /// goes to T-tagged consumers when `ctl` is true, to F-tagged ones when
+  /// false.  A side with no consumers discards (Fig. 4's jam avoidance).
+  NodeId gatedIdentity(PortSrc data, PortSrc ctl, std::string label = {});
+  /// Non-strict merge (ctl, tIn, fIn).
+  NodeId merge(PortSrc ctl, PortSrc tIn, PortSrc fIn, std::string label = {});
+  /// Boolean control-sequence source emitting `pattern` once per wave.
+  NodeId boolSeq(BoolPattern pattern, std::string label = {});
+  /// Integer index sequence lo..hi; each value emitted `repeat` times in a
+  /// row, the whole sequence cycled `tiles` times per wave (2-D row-major
+  /// column streams use tiles = number of rows).
+  NodeId indexSeq(std::int64_t lo, std::int64_t hi, std::int64_t repeat = 1,
+                  std::string label = {}, std::int64_t tiles = 1);
+  /// FIFO buffer of `depth` identity stages.  depth == 0 returns `a`
+  /// unchanged (callers may pass computed skews).
+  PortSrc fifo(PortSrc a, int depth, std::string label = {});
+  /// Host-fed stream source; `tokensPerWave` elements arrive per wave.
+  NodeId input(std::string name, std::int64_t tokensPerWave);
+  /// Host-collected stream sink.
+  NodeId output(std::string name, PortSrc src);
+  NodeId sink(PortSrc src, std::string label = {});
+  NodeId amStore(std::string name, PortSrc src);
+  NodeId amFetch(std::string name, std::int64_t tokensPerWave);
+
+  /// All node ids, in insertion order.
+  std::vector<NodeId> ids() const;
+
+  /// Ids of Input / Output nodes.
+  std::vector<NodeId> inputNodes() const;
+  std::vector<NodeId> outputNodes() const;
+  /// Finds the Input/Output node with the given stream name (invalid id if
+  /// absent).
+  NodeId findInput(const std::string& name) const;
+  NodeId findOutput(const std::string& name) const;
+
+  /// Total instruction-cell count once FIFOs are expanded.
+  std::size_t loweredCellCount() const;
+
+  /// Rewires every operand/gate arc that reads from `oldProducer` to read
+  /// `replacement` instead (used to close for-iter feedback loops after the
+  /// merge cell exists).  The replacement's tag/feedback flags are kept.
+  void replaceUses(NodeId oldProducer, PortSrc replacement);
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// A consumer endpoint of some producer's result packets.
+struct DestRef {
+  NodeId consumer;
+  int port;  ///< operand index, or kGatePort for the gate operand
+  OutTag tag;
+};
+
+inline constexpr int kGatePort = -1;
+
+/// Destination lists derived from the consumers' operand fields — the
+/// "destination fields" of §2, used by validation, DOT export and both
+/// execution engines.
+class Wiring {
+ public:
+  explicit Wiring(const Graph& g);
+
+  const std::vector<DestRef>& dests(NodeId producer) const {
+    return dests_[producer.index];
+  }
+  /// Destinations a firing with gate value `gateVal` actually delivers to.
+  /// Pass std::nullopt for ungated producers (Always-tagged only).
+  std::vector<DestRef> deliveredDests(NodeId producer,
+                                      std::optional<bool> gateVal) const;
+
+ private:
+  std::vector<std::vector<DestRef>> dests_;
+};
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,70 @@
+#include "dfg/lower.hpp"
+
+#include "support/check.hpp"
+
+namespace valpipe::dfg {
+
+Graph expandFifos(const Graph& g) {
+  Graph out;
+
+  // Pass 1: allocate new ids.  For a FIFO of depth k, `firstOf` is the head
+  // of the identity chain and `mapped` its tail (what consumers see).
+  std::vector<NodeId> mapped(g.size());
+  std::vector<NodeId> firstOf(g.size());
+  std::uint32_t next = 0;
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    if (n.op == Op::Fifo) {
+      VALPIPE_CHECK(n.fifoDepth >= 1);
+      firstOf[id.index] = NodeId{next};
+      mapped[id.index] = NodeId{next + static_cast<std::uint32_t>(n.fifoDepth) - 1};
+      next += static_cast<std::uint32_t>(n.fifoDepth);
+    } else {
+      firstOf[id.index] = mapped[id.index] = NodeId{next};
+      ++next;
+    }
+  }
+
+  auto remap = [&](PortSrc src) {
+    if (src.isArc()) src.producer = mapped[src.producer.index];
+    return src;
+  };
+
+  // Pass 2: emit nodes in order so new ids line up with the allocation.
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    if (n.op != Op::Fifo) {
+      Node copy = n;
+      for (PortSrc& in : copy.inputs) in = remap(in);
+      if (copy.gate) copy.gate = remap(*copy.gate);
+      NodeId got = out.add(std::move(copy));
+      VALPIPE_CHECK(got == mapped[id.index]);
+      continue;
+    }
+    // Identity chain.  First arc inherits the FIFO input's flags; internal
+    // arcs are rigid.
+    PortSrc in = remap(n.inputs[0]);
+    for (int stage = 0; stage < n.fifoDepth; ++stage) {
+      Node cell;
+      cell.op = Op::Id;
+      cell.inputs = {in};
+      cell.label = n.label.empty() ? std::string("fifo")
+                                   : n.label + "[" + std::to_string(stage) + "]";
+      NodeId got = out.add(std::move(cell));
+      if (stage == 0) VALPIPE_CHECK(got == firstOf[id.index]);
+      in = Graph::out(got);
+      in.rigid = true;
+    }
+    VALPIPE_CHECK(NodeId{in.producer} == mapped[id.index]);
+  }
+
+  return out;
+}
+
+bool isLowered(const Graph& g) {
+  for (NodeId id : g.ids())
+    if (g.node(id).op == Op::Fifo) return false;
+  return true;
+}
+
+}  // namespace valpipe::dfg

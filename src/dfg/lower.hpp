@@ -1,0 +1,18 @@
+// Lowering passes: turn composite IR nodes into real instruction cells so the
+// machine simulator's cell statistics and firing rates are truthful.
+#pragma once
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::dfg {
+
+/// Replaces every Fifo(depth k) node by a chain of k identity cells.  The
+/// arc into the first chain cell inherits the FIFO's input-arc flags; the
+/// chain-internal arcs are marked rigid (their length is fixed by
+/// construction).  Returns the lowered graph; `g` is left untouched.
+Graph expandFifos(const Graph& g);
+
+/// True when `g` contains no composite nodes (safe for the machine engine).
+bool isLowered(const Graph& g);
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,116 @@
+#include "dfg/opcode.hpp"
+
+#include "support/check.hpp"
+
+namespace valpipe::dfg {
+
+int arity(Op op) {
+  switch (op) {
+    case Op::Id:
+    case Op::Not:
+    case Op::Neg:
+    case Op::Abs:
+    case Op::Output:
+    case Op::Sink:
+    case Op::AmStore:
+      return 1;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Min:
+    case Op::Max:
+    case Op::Mod:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+    case Op::Eq:
+    case Op::Ne:
+    case Op::And:
+    case Op::Or:
+      return 2;
+    case Op::Merge:
+      return 3;
+    case Op::BoolSeq:
+    case Op::IndexSeq:
+    case Op::Input:
+    case Op::AmFetch:
+      return 0;
+    case Op::Fifo:
+      return 1;
+  }
+  VALPIPE_UNREACHABLE("bad opcode");
+}
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::Id: return "ID";
+    case Op::Not: return "NOT";
+    case Op::Neg: return "NEG";
+    case Op::Abs: return "ABS";
+    case Op::Add: return "ADD";
+    case Op::Sub: return "SUB";
+    case Op::Mul: return "MULT";
+    case Op::Div: return "DIV";
+    case Op::Min: return "MIN";
+    case Op::Max: return "MAX";
+    case Op::Mod: return "MOD";
+    case Op::Lt: return "LT";
+    case Op::Le: return "LE";
+    case Op::Gt: return "GT";
+    case Op::Ge: return "GE";
+    case Op::Eq: return "EQ";
+    case Op::Ne: return "NE";
+    case Op::And: return "AND";
+    case Op::Or: return "OR";
+    case Op::Merge: return "MERG";
+    case Op::BoolSeq: return "BSEQ";
+    case Op::IndexSeq: return "ISEQ";
+    case Op::Fifo: return "FIFO";
+    case Op::Input: return "IN";
+    case Op::Output: return "OUT";
+    case Op::Sink: return "SINK";
+    case Op::AmStore: return "AMST";
+    case Op::AmFetch: return "AMFT";
+  }
+  return "?";
+}
+
+bool producesResult(Op op) {
+  return op != Op::Output && op != Op::Sink && op != Op::AmStore;
+}
+
+bool isSource(Op op) {
+  return op == Op::BoolSeq || op == Op::IndexSeq || op == Op::Input ||
+         op == Op::AmFetch;
+}
+
+FuClass fuClass(Op op) {
+  switch (op) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Min:
+    case Op::Max:
+    case Op::Abs:
+    case Op::Neg:
+      return FuClass::Fpu;
+    case Op::Mod:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+    case Op::Eq:
+    case Op::Ne:
+      return FuClass::Alu;
+    case Op::AmStore:
+    case Op::AmFetch:
+      return FuClass::Am;
+    default:
+      return FuClass::Pe;
+  }
+}
+
+}  // namespace valpipe::dfg

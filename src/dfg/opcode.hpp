@@ -1,0 +1,88 @@
+// Opcodes of the static dataflow machine's instruction cells.
+//
+// A machine-level data flow program is a directed graph of instruction cells
+// (§2 of the paper).  Each cell holds an operation code, operand fields
+// (either arcs from producer cells or literal values) and destination fields.
+// A cell may additionally hold one boolean *gate* operand that directs its
+// result packet to destinations tagged T or F — the mechanism the paper uses
+// for element selection (Fig. 4), conditional arms (Fig. 5) and the for-iter
+// feedback switch (Fig. 7).
+#pragma once
+
+#include <cstdint>
+
+namespace valpipe::dfg {
+
+enum class Op : std::uint8_t {
+  // Plumbing / scalar operations executed in a processing element.
+  Id,    ///< identity: forwards its single operand (buffer / switch body)
+  Not,
+  Neg,
+  Abs,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Min,
+  Max,
+  Mod,   ///< integer modulo (counter wrap in control generators)
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+  /// Non-strict merge (Fig. 5): operand 0 is the merge control M, operand 1
+  /// the T input, operand 2 the F input.  Fires when M and the *selected*
+  /// input are present; the unselected operand, if any, is left untouched.
+  Merge,
+  /// Source of a boolean control sequence (e.g. <F T..T F>), the compile-time
+  /// arrangement of Todd [15].  Attribute: one wave's bit pattern.
+  BoolSeq,
+  /// Source of the integer index sequence lo, lo+1, ..., hi (one wave).
+  IndexSeq,
+  /// Composite FIFO of `fifoDepth` identity cells; lowered to an Id chain
+  /// before machine-level simulation so cell statistics are truthful.
+  Fifo,
+  /// Stream source fed by the host: an array arriving as successive result
+  /// packets, least index first (§3's "array as a sequence of values").
+  Input,
+  /// Stream sink collected by the host (the constructed array).
+  Output,
+  /// Consumes and discards its operand (explicit jam-avoidance sink).
+  Sink,
+  /// Array-memory append: sends its operand to an array memory unit (§2).
+  AmStore,
+  /// Array-memory fetch: emits elements previously stored under `streamName`.
+  AmFetch,
+};
+
+/// Number of data operand fields the op requires (excluding the optional gate).
+int arity(Op op);
+
+/// Printable mnemonic ("ADD", "MERG", ...), matching the paper's figures
+/// where one exists.
+const char* mnemonic(Op op);
+
+/// True for ops that produce a result packet (everything except Output, Sink
+/// and AmStore).
+bool producesResult(Op op);
+
+/// True for source ops that have no data operands and emit a stream
+/// spontaneously, subject to acknowledgment back-pressure.
+bool isSource(Op op);
+
+/// Functional-unit class used by the machine model to route operation
+/// packets (§2: processing elements, function units, array memories).
+enum class FuClass : std::uint8_t {
+  Pe,     ///< executed inside the processing element (identity, boolean, ...)
+  Alu,    ///< integer/compare unit
+  Fpu,    ///< floating point function unit
+  Am,     ///< array memory unit
+};
+
+FuClass fuClass(Op op);
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,61 @@
+#include "dfg/prune.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace valpipe::dfg {
+
+Graph pruneDead(const Graph& g) {
+  // Mark backwards from sinks over operand/gate arcs.
+  std::vector<char> live(g.size(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId id : g.ids()) {
+    const Op op = g.node(id).op;
+    if (op == Op::Output || op == Op::AmStore || op == Op::Sink) {
+      live[id.index] = 1;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = g.node(id);
+    auto visit = [&](const PortSrc& src) {
+      if (src.isArc() && !live[src.producer.index]) {
+        live[src.producer.index] = 1;
+        stack.push_back(src.producer);
+      }
+    };
+    for (const PortSrc& in : n.inputs) visit(in);
+    if (n.gate) visit(*n.gate);
+  }
+
+  // Rebuild with remapped ids.  Two passes, because feedback arcs may point
+  // at higher-numbered producers.
+  std::vector<NodeId> mapped(g.size(), NodeId{});
+  std::uint32_t next = 0;
+  for (NodeId id : g.ids())
+    if (live[id.index]) mapped[id.index] = NodeId{next++};
+
+  Graph out;
+  for (NodeId id : g.ids()) {
+    if (!live[id.index]) continue;
+    Node copy = g.node(id);
+    auto remap = [&](PortSrc src) {
+      if (src.isArc()) {
+        VALPIPE_CHECK_MSG(mapped[src.producer.index].valid(),
+                          "live node consumes from pruned producer");
+        src.producer = mapped[src.producer.index];
+      }
+      return src;
+    };
+    for (PortSrc& in : copy.inputs) in = remap(in);
+    if (copy.gate) copy.gate = remap(*copy.gate);
+    const NodeId got = out.add(std::move(copy));
+    VALPIPE_CHECK(got == mapped[id.index]);
+  }
+  return out;
+}
+
+}  // namespace valpipe::dfg

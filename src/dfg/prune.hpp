@@ -1,0 +1,14 @@
+// Dead-code elimination on instruction graphs: removes cells whose results
+// can never reach an Output or AmStore cell (e.g. unused definition streams,
+// or the discarded side of an element-selection gate's support network).
+#pragma once
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::dfg {
+
+/// Returns a copy of `g` containing only cells from which an Output or
+/// AmStore is reachable (following operand and gate arcs forward).
+Graph pruneDead(const Graph& g);
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,36 @@
+#include "dfg/stats.hpp"
+
+#include <sstream>
+
+namespace valpipe::dfg {
+
+GraphStats computeStats(const Graph& g) {
+  GraphStats s;
+  s.nodes = g.size();
+  s.cells = g.loweredCellCount();
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    ++s.byOp[n.op];
+    if (n.op == Op::Fifo) {
+      ++s.fifoNodes;
+      s.fifoSlots += static_cast<std::size_t>(n.fifoDepth);
+    }
+    if (n.hasGate()) ++s.gatedCells;
+    if (isSource(n.op)) ++s.sources;
+    for (const PortSrc& in : n.inputs)
+      if (in.isArc()) ++s.arcs;
+    if (n.gate && n.gate->isArc()) ++s.arcs;
+  }
+  return s;
+}
+
+std::string GraphStats::str() const {
+  std::ostringstream os;
+  os << nodes << " nodes, " << cells << " cells (lowered), " << arcs
+     << " arcs, " << fifoNodes << " FIFOs holding " << fifoSlots
+     << " slots, " << gatedCells << " gated, " << sources << " sources; by op:";
+  for (const auto& [op, count] : byOp) os << ' ' << mnemonic(op) << '=' << count;
+  return os.str();
+}
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,28 @@
+// Static statistics of an instruction graph (cell counts by class, FIFO
+// slots, gate usage) — the code-size side of the paper's schemes, used by the
+// companion-overhead and balancing benches.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::dfg {
+
+struct GraphStats {
+  std::size_t nodes = 0;          ///< IR nodes (composites count once)
+  std::size_t cells = 0;          ///< instruction cells after lowering
+  std::size_t fifoNodes = 0;      ///< composite FIFO nodes
+  std::size_t fifoSlots = 0;      ///< total buffering stages inside FIFOs
+  std::size_t gatedCells = 0;     ///< cells with a gate operand
+  std::size_t sources = 0;        ///< BoolSeq/IndexSeq/Input/AmFetch cells
+  std::size_t arcs = 0;           ///< operand+gate arcs (excludes literals)
+  std::map<Op, std::size_t> byOp;
+
+  std::string str() const;
+};
+
+GraphStats computeStats(const Graph& g);
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,149 @@
+#include "dfg/validate.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace valpipe::dfg {
+
+namespace {
+
+std::string nodeName(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  std::ostringstream os;
+  os << '#' << id.index << ':' << mnemonic(n.op);
+  if (!n.label.empty()) os << '(' << n.label << ')';
+  return os.str();
+}
+
+}  // namespace
+
+std::string ValidationReport::str() const {
+  std::ostringstream os;
+  for (const auto& e : errors) os << "error: " << e << '\n';
+  for (const auto& w : warnings) os << "warning: " << w << '\n';
+  return os.str();
+}
+
+ValidationReport validate(const Graph& g, bool requireAcyclic) {
+  ValidationReport rep;
+  auto err = [&](const std::string& s) { rep.errors.push_back(s); };
+  auto warn = [&](const std::string& s) { rep.warnings.push_back(s); };
+
+  std::set<std::string> inputNames, outputNames;
+
+  auto checkArc = [&](NodeId at, const PortSrc& src, const char* what) {
+    if (!src.isArc()) {
+      if (src.initial)
+        err(nodeName(g, at) + ": load-time token on a literal operand");
+      return;
+    }
+    if (!src.producer.valid() || src.producer.index >= g.size()) {
+      err(nodeName(g, at) + ": dangling " + what + " arc");
+      return;
+    }
+    const Node& p = g.node(src.producer);
+    if (!producesResult(p.op))
+      err(nodeName(g, at) + ": " + what + " arc from non-producing " +
+          nodeName(g, src.producer));
+    if (src.tag != OutTag::Always && !p.hasGate())
+      err(nodeName(g, at) + ": " + what + " arc with T/F tag from ungated " +
+          nodeName(g, src.producer));
+  };
+
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    for (const PortSrc& in : n.inputs) checkArc(id, in, "operand");
+    if (n.gate) {
+      checkArc(id, *n.gate, "gate");
+      if (isSource(n.op)) err(nodeName(g, id) + ": source nodes cannot be gated");
+    }
+    switch (n.op) {
+      case Op::BoolSeq:
+        if (n.pattern.length() == 0) err(nodeName(g, id) + ": empty pattern");
+        break;
+      case Op::IndexSeq:
+        if (n.seqLo > n.seqHi) err(nodeName(g, id) + ": empty index range");
+        break;
+      case Op::Fifo:
+        if (n.fifoDepth < 1) err(nodeName(g, id) + ": FIFO depth < 1");
+        break;
+      case Op::Input:
+        if (!inputNames.insert(n.streamName).second)
+          err("duplicate input stream '" + n.streamName + "'");
+        if (n.tokensPerWave <= 0) err(nodeName(g, id) + ": no packets per wave");
+        break;
+      case Op::Output:
+        if (!outputNames.insert(n.streamName).second)
+          err("duplicate output stream '" + n.streamName + "'");
+        break;
+      case Op::AmFetch:
+        if (n.tokensPerWave <= 0) err(nodeName(g, id) + ": no packets per wave");
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Destination sanity: producers with no consumers at all discard every
+  // result — legal for gate sides, suspicious for a whole cell.
+  Wiring wiring(g);
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    if (producesResult(n.op) && wiring.dests(id).empty())
+      warn(nodeName(g, id) + ": result has no destinations (always discarded)");
+  }
+
+  if (requireAcyclic) {
+    // DFS over non-feedback arcs (consumer -> producer direction is fine for
+    // cycle detection).
+    enum class Mark : char { White, Grey, Black };
+    std::vector<Mark> mark(g.size(), Mark::White);
+    // Iterative DFS.
+    for (NodeId root : g.ids()) {
+      if (mark[root.index] != Mark::White) continue;
+      std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+      mark[root.index] = Mark::Grey;
+      while (!stack.empty()) {
+        auto& [id, edge] = stack.back();
+        const Node& n = g.node(id);
+        // Enumerate arc predecessors: inputs then gate.
+        const std::size_t total = n.inputs.size() + (n.gate ? 1 : 0);
+        bool descended = false;
+        while (edge < total) {
+          const PortSrc& src = edge < n.inputs.size()
+                                   ? n.inputs[edge]
+                                   : *n.gate;
+          ++edge;
+          if (!src.isArc() || src.feedback) continue;
+          const NodeId pred = src.producer;
+          if (mark[pred.index] == Mark::Grey) {
+            err("cycle through " + nodeName(g, pred) +
+                " not broken by a feedback arc");
+            continue;
+          }
+          if (mark[pred.index] == Mark::White) {
+            mark[pred.index] = Mark::Grey;
+            stack.push_back({pred, 0});
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && edge >= total) {
+          mark[id.index] = Mark::Black;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  return rep;
+}
+
+void validateOrThrow(const Graph& g, bool requireAcyclic) {
+  ValidationReport rep = validate(g, requireAcyclic);
+  if (!rep.ok()) throw CompileError("invalid instruction graph:\n" + rep.str());
+}
+
+}  // namespace valpipe::dfg

@@ -1,0 +1,31 @@
+// Structural validation of instruction graphs.
+//
+// Catches wiring bugs in the compiler before a graph reaches an execution
+// engine: dangling arcs, tag misuse, bad attributes, unintended cycles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::dfg {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  bool ok() const { return errors.empty(); }
+  std::string str() const;
+};
+
+/// Validates `g`.  When `requireAcyclic` is true, any cycle not broken by a
+/// `feedback`-flagged arc is an error (forall blocks and balanced whole
+/// programs must be acyclic; for-iter graphs carry marked feedback arcs).
+ValidationReport validate(const Graph& g, bool requireAcyclic = true);
+
+/// Validates and throws CompileError on failure (convenience for tests and
+/// the compiler pipeline).
+void validateOrThrow(const Graph& g, bool requireAcyclic = true);
+
+}  // namespace valpipe::dfg

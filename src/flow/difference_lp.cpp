@@ -1,0 +1,101 @@
+#include "flow/difference_lp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "flow/mincostflow.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::flow {
+
+namespace {
+constexpr std::int64_t kInfCap = std::numeric_limits<std::int64_t>::max() / 8;
+
+/// Detects a directed constraint cycle with positive total lower bound
+/// (primal infeasibility) with Bellman-Ford over arcs u->v of length -lo.
+bool feasible(int n, const std::vector<DiffConstraint>& constraints) {
+  std::vector<std::int64_t> dist(n, 0);
+  for (int pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (const auto& c : constraints) {
+      // d[v] >= d[u] + lo  <=>  shortest-path edge v -> u of weight -lo from
+      // the "<=" view; any relaxation loop that never settles is a positive
+      // cycle.
+      if (dist[c.u] > dist[c.v] - c.lo) {
+        dist[c.u] = dist[c.v] - c.lo;
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::int64_t>> solveDifferenceLP(
+    int n, const std::vector<DiffConstraint>& constraints,
+    const std::vector<DiffObjectiveTerm>& objective) {
+  VALPIPE_CHECK(n >= 0);
+  for (const auto& t : objective) VALPIPE_CHECK_MSG(t.w >= 0, "negative weight");
+  if (!feasible(n, constraints)) return std::nullopt;
+
+  // Dual construction.  With c_v = sum_{t: v_t == v} w_t - sum_{t: u_t == v} w_t
+  // the dual is:  max sum_a lo_a * y_a   s.t.  inflow(v) - outflow(v) = c_v,
+  // y >= 0, over flow arcs u_a -> v_a.  As a min-cost flow: arc cost -lo_a,
+  // node supply b_v = -c_v.
+  MinCostFlow mcf(n);
+  std::vector<std::int64_t> c(n, 0);
+  for (const auto& t : objective) {
+    c[t.v] += t.w;
+    c[t.u] -= t.w;
+  }
+  for (int v = 0; v < n; ++v) mcf.setSupply(v, -c[v]);
+  for (const auto& a : constraints) mcf.addEdge(a.u, a.v, kInfCap, -a.lo);
+
+  const MinCostFlow::Result res = mcf.solve();
+  if (!res.feasible) return std::nullopt;  // primal unbounded
+
+  // Optimal potentials satisfy, for every (never saturated) constraint arc,
+  // -lo - pi[u] + pi[v] >= 0, i.e. pi[u] - pi[v] >= lo: the optimal depths
+  // are d = -pi (complementary slackness makes them optimal, see tests that
+  // cross-check against brute force).
+  std::vector<std::int64_t> d(n);
+  for (int v = 0; v < n; ++v) d[v] = -mcf.potential(v);
+
+  // Normalize each weakly connected component so its minimum depth is zero.
+  std::vector<int> comp(n, -1);
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& a : constraints) {
+    adj[a.u].push_back(a.v);
+    adj[a.v].push_back(a.u);
+  }
+  int numComp = 0;
+  for (int v = 0; v < n; ++v) {
+    if (comp[v] != -1) continue;
+    std::vector<int> stack{v};
+    comp[v] = numComp;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int w : adj[u])
+        if (comp[w] == -1) {
+          comp[w] = numComp;
+          stack.push_back(w);
+        }
+    }
+    ++numComp;
+  }
+  std::vector<std::int64_t> minOf(numComp,
+                                  std::numeric_limits<std::int64_t>::max());
+  for (int v = 0; v < n; ++v) minOf[comp[v]] = std::min(minOf[comp[v]], d[v]);
+  for (int v = 0; v < n; ++v) d[v] -= minOf[comp[v]];
+
+  // Sanity: the result must satisfy every constraint.
+  for (const auto& a : constraints)
+    VALPIPE_CHECK_MSG(d[a.v] - d[a.u] >= a.lo, "LP dual produced invalid depths");
+
+  return d;
+}
+
+}  // namespace valpipe::flow

@@ -1,0 +1,40 @@
+// Linear programs over difference constraints, solved through their min-cost
+// flow dual — the exact construction §8(3) of the paper alludes to for
+// optimum (minimum-buffer) balancing.
+//
+//   minimize   sum_t  w_t * (d[v_t] - d[u_t])        (w_t >= 0)
+//   subject to d[v_a] - d[u_a] >= lo_a   for every constraint a
+//
+// over integer stage depths d.  The dual is a min-cost flow with node
+// supplies; the optimal node potentials of that flow are an optimal d.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace valpipe::flow {
+
+/// d[v] - d[u] >= lo
+struct DiffConstraint {
+  int u = 0;
+  int v = 0;
+  std::int64_t lo = 1;
+};
+
+/// Contributes w * (d[v] - d[u]) to the objective; w must be >= 0.
+struct DiffObjectiveTerm {
+  int u = 0;
+  int v = 0;
+  std::int64_t w = 1;
+};
+
+/// Solves the difference-constraint LP over `n` variables.  Returns the
+/// optimal integer assignment (normalized so min d == 0 per weakly-connected
+/// component), or nullopt when the primal is infeasible (a constraint cycle
+/// with positive total lower bound) or unbounded (dual flow infeasible).
+std::optional<std::vector<std::int64_t>> solveDifferenceLP(
+    int n, const std::vector<DiffConstraint>& constraints,
+    const std::vector<DiffObjectiveTerm>& objective);
+
+}  // namespace valpipe::flow

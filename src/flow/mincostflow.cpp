@@ -1,0 +1,155 @@
+#include "flow/mincostflow.hpp"
+
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace valpipe::flow {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(int n) : supply_(n, 0), graph_(n), pi_(n, 0) {}
+
+int MinCostFlow::addNode() {
+  supply_.push_back(0);
+  graph_.emplace_back();
+  pi_.push_back(0);
+  return nodeCount() - 1;
+}
+
+void MinCostFlow::setSupply(int v, std::int64_t b) {
+  VALPIPE_CHECK(!solved_);
+  supply_[v] = b;
+}
+
+void MinCostFlow::addInternalEdge(int u, int v, std::int64_t cap,
+                                  std::int64_t cost) {
+  graph_[u].push_back({v, cap, cost, static_cast<int>(graph_[v].size())});
+  graph_[v].push_back({u, 0, -cost, static_cast<int>(graph_[u].size()) - 1});
+}
+
+int MinCostFlow::addEdge(int u, int v, std::int64_t cap, std::int64_t cost) {
+  VALPIPE_CHECK(!solved_);
+  VALPIPE_CHECK(u >= 0 && u < nodeCount() && v >= 0 && v < nodeCount());
+  VALPIPE_CHECK(cap >= 0);
+  edgeRef_.emplace_back(u, static_cast<int>(graph_[u].size()));
+  addInternalEdge(u, v, cap, cost);
+  return static_cast<int>(edgeRef_.size()) - 1;
+}
+
+void MinCostFlow::primePotentials() {
+  // SPFA from a virtual source at distance 0 to every node: afterwards
+  // pi[v] = shortest residual cost reachable-from-anywhere, which makes all
+  // residual reduced costs non-negative.  Aborts on a negative cycle (caller
+  // contract violation).
+  const int n = nodeCount();
+  std::vector<std::int64_t> dist(n, 0);
+  std::vector<int> relaxations(n, 0);
+  std::vector<char> inQueue(n, 1);
+  std::deque<int> queue;
+  for (int v = 0; v < n; ++v) queue.push_back(v);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    inQueue[u] = 0;
+    for (const Edge& e : graph_[u]) {
+      if (e.cap <= 0) continue;
+      const std::int64_t nd = dist[u] + e.cost;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        if (++relaxations[e.to] > n + 1)
+          VALPIPE_UNREACHABLE("negative-cost cycle in min-cost flow network");
+        if (!inQueue[e.to]) {
+          inQueue[e.to] = 1;
+          queue.push_back(e.to);
+        }
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) pi_[v] = dist[v];
+}
+
+MinCostFlow::Result MinCostFlow::solve() {
+  VALPIPE_CHECK(!solved_);
+  solved_ = true;
+
+  // Route supplies via a super source / super sink.
+  const int s = addNode();
+  const int t = addNode();
+  std::int64_t need = 0;
+  for (int v = 0; v + 2 < nodeCount(); ++v) {
+    if (supply_[v] > 0) {
+      addInternalEdge(s, v, supply_[v], 0);
+      need += supply_[v];
+    } else if (supply_[v] < 0) {
+      addInternalEdge(v, t, -supply_[v], 0);
+    }
+  }
+
+  primePotentials();
+
+  const int n = nodeCount();
+  std::int64_t sent = 0;
+  std::int64_t totalCost = 0;
+  std::vector<std::int64_t> dist(n);
+  std::vector<int> prevNode(n), prevEdge(n);
+
+  while (sent < need) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[s] = 0;
+    using Item = std::pair<std::int64_t, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.push({0, s});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
+        const Edge& e = graph_[u][i];
+        if (e.cap <= 0) continue;
+        const std::int64_t nd = d + e.cost + pi_[u] - pi_[e.to];
+        VALPIPE_CHECK_MSG(e.cost + pi_[u] - pi_[e.to] >= 0,
+                          "negative reduced cost");
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          prevNode[e.to] = u;
+          prevEdge[e.to] = i;
+          heap.push({nd, e.to});
+        }
+      }
+    }
+    if (dist[t] >= kInf) break;  // no augmenting path: infeasible
+
+    // Keep potentials valid for every node (cap unreachable at dist[t]).
+    for (int v = 0; v < n; ++v) pi_[v] += std::min(dist[v], dist[t]);
+
+    // Augment along the found path by its bottleneck.
+    std::int64_t push = need - sent;
+    for (int v = t; v != s; v = prevNode[v])
+      push = std::min(push, graph_[prevNode[v]][prevEdge[v]].cap);
+    for (int v = t; v != s; v = prevNode[v]) {
+      Edge& e = graph_[prevNode[v]][prevEdge[v]];
+      e.cap -= push;
+      graph_[e.to][e.rev].cap += push;
+      totalCost += push * e.cost;
+    }
+    sent += push;
+  }
+
+  return {sent == need, totalCost};
+}
+
+std::int64_t MinCostFlow::flowOn(int id) const {
+  VALPIPE_CHECK(solved_);
+  const auto [u, idx] = edgeRef_[id];
+  const Edge& e = graph_[u][idx];
+  // Flow equals the residual capacity of the reverse edge.
+  return graph_[e.to][e.rev].cap;
+}
+
+}  // namespace valpipe::flow

@@ -1,0 +1,71 @@
+// Minimum-cost flow with node supplies — the substrate behind the paper's
+// §8(3) observation that optimum balancing (minimum total FIFO buffering) is
+// the linear-programming dual of a min-cost flow problem.
+//
+// Successive shortest augmenting paths with Johnson potentials; negative edge
+// costs are admitted as long as the initial network contains no negative-cost
+// directed cycle (guaranteed by the balancing reduction, which only adds
+// zero-total-cost cycles for rigid arcs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace valpipe::flow {
+
+class MinCostFlow {
+ public:
+  /// Creates a network with `n` nodes, all with zero supply.
+  explicit MinCostFlow(int n);
+
+  int nodeCount() const { return static_cast<int>(supply_.size()); }
+
+  /// Adds a fresh node; returns its index.
+  int addNode();
+
+  /// Sets node `v`'s supply: positive = source of `b` units, negative = sink.
+  /// Supplies must sum to zero over the whole network for feasibility.
+  void setSupply(int v, std::int64_t b);
+  std::int64_t supply(int v) const { return supply_[v]; }
+
+  /// Adds a directed edge u->v; returns an edge id usable with flowOn().
+  int addEdge(int u, int v, std::int64_t capacity, std::int64_t cost);
+
+  struct Result {
+    bool feasible = false;        ///< all supplies routed
+    std::int64_t totalCost = 0;   ///< sum of cost * flow over edges
+  };
+
+  /// Computes a minimum-cost flow meeting all supplies.  May be called once.
+  Result solve();
+
+  /// Flow routed on edge `id` (valid after solve()).
+  std::int64_t flowOn(int id) const;
+
+  /// Optimal node potential of `v` (valid after a feasible solve()): for
+  /// every edge with residual capacity, cost - pi[u] + pi[v] >= 0.  These are
+  /// the optimal duals the balancer reads off as stage depths.
+  std::int64_t potential(int v) const { return pi_[v]; }
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t cap;
+    std::int64_t cost;
+    int rev;  ///< index of the reverse edge in graph_[to]
+  };
+
+  void addInternalEdge(int u, int v, std::int64_t cap, std::int64_t cost);
+  /// SPFA pass establishing potentials that make all residual costs
+  /// non-negative (required before the Dijkstra phase).
+  void primePotentials();
+
+  std::vector<std::int64_t> supply_;
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edgeRef_;  ///< public edge id -> (node, idx)
+  std::vector<std::int64_t> pi_;
+  bool solved_ = false;
+};
+
+}  // namespace valpipe::flow

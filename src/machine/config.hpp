@@ -1,0 +1,59 @@
+// Timing and resource model of the static dataflow machine (§2, Fig. 1).
+//
+// The unit profile realizes the paper's §3 abstraction: an instruction's
+// minimum repetition period is two instruction times (fire, then wait for the
+// successor's firing — whose acknowledgment frees the destination slot — to
+// become visible one cycle later).  A fully pipelined code structure
+// therefore peaks at 0.5 results per instruction time per cell.
+//
+// The machine profile adds multi-cycle function-unit latencies, routing
+// network transit, acknowledge transit and finite function-unit pools, for
+// architecture-level studies (utilization, packet traffic, §2's array-memory
+// traffic share).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "dfg/opcode.hpp"
+
+namespace valpipe::machine {
+
+struct MachineConfig {
+  /// Execution latency per functional-unit class, in instruction times.
+  std::array<int, 4> execLatency{1, 1, 1, 1};  // indexed by FuClass
+  /// Result-packet transit through the routing network.
+  int routeDelay = 0;
+  /// Acknowledge-packet transit back to the producer.
+  int ackDelay = 0;
+  /// Extra transit for result packets whose producer and consumer cells sit
+  /// in different processing elements (the Fig. 1 distribution network);
+  /// only applies when a Placement is supplied to the run.
+  int interPeDelay = 0;
+  /// Function units available per class; 0 means unlimited (no contention).
+  std::array<int, 4> fuUnits{0, 0, 0, 0};
+
+  int latencyOf(dfg::Op op) const {
+    return execLatency[static_cast<std::size_t>(dfg::fuClass(op))];
+  }
+  int unitsOf(dfg::FuClass c) const {
+    return fuUnits[static_cast<std::size_t>(c)];
+  }
+
+  /// §3 abstraction: unit latencies, free routing, unlimited units.
+  static MachineConfig unit() { return MachineConfig{}; }
+
+  /// A plausible hardware point: 4-cycle FPU, 2-cycle ALU, 6-cycle array
+  /// memory, 1-cycle routing each way; pools sized by `peCount`.
+  static MachineConfig hardware(int fpus = 0, int alus = 0, int ams = 0) {
+    MachineConfig c;
+    c.execLatency = {1, 2, 4, 6};  // Pe, Alu, Fpu, Am
+    c.routeDelay = 1;
+    c.ackDelay = 1;
+    c.fuUnits = {0, alus, fpus, ams};
+    return c;
+  }
+};
+
+}  // namespace valpipe::machine

@@ -1,0 +1,103 @@
+// Timed simulator of the static dataflow machine.
+//
+// Instruction cells obey the §2/§3 firing discipline: a cell is enabled when
+// every required operand has arrived, the destinations of *this* firing are
+// free (its previous result packets have been acknowledged), and — under a
+// finite function-unit pool — a unit of its class is available.  The engine
+// steps synchronously in instruction times with two-phase update (enabling
+// decisions read the state at the start of the cycle), which yields exactly
+// the paper's maximum repetition rate of one firing per two instruction times
+// under the unit profile, and k/S for a feedback cycle of S stages carrying a
+// dependence distance of k.
+//
+// The graph must be lowered (dfg::expandFifos) so cell counts and rates refer
+// to real instruction cells.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "machine/config.hpp"
+#include "machine/placement.hpp"
+#include "support/value.hpp"
+
+namespace valpipe::machine {
+
+using StreamMap = std::map<std::string, std::vector<Value>>;
+
+struct RunOptions {
+  int waves = 1;
+  std::int64_t maxCycles = 100'000'000;
+  StreamMap amInitial;
+  /// Expected element count per Output stream for the whole run; when given,
+  /// the run stops as soon as all outputs are complete.
+  std::map<std::string, std::int64_t> expectedOutputs;
+  /// Cell-to-PE assignment; result packets crossing PEs pay
+  /// cfg.interPeDelay and are counted as distribution-network traffic.
+  std::optional<Placement> placement;
+};
+
+/// Packet traffic counters (§2's packet communication architecture).
+struct PacketCounters {
+  std::array<std::uint64_t, 4> opPacketsByClass{};  ///< indexed by FuClass
+  std::uint64_t resultPackets = 0;
+  std::uint64_t ackPackets = 0;
+  /// Result packets that crossed processing elements through the
+  /// distribution network (only counted when a Placement is supplied).
+  std::uint64_t networkResultPackets = 0;
+
+  double networkShare() const {
+    return resultPackets == 0
+               ? 0.0
+               : static_cast<double>(networkResultPackets) /
+                     static_cast<double>(resultPackets);
+  }
+
+  std::uint64_t opPacketsTotal() const {
+    std::uint64_t s = 0;
+    for (auto v : opPacketsByClass) s += v;
+    return s;
+  }
+  /// Fraction of operation packets sent to the array memories (§2 claims
+  /// <= 1/8 for streaming application codes).
+  double amShare() const {
+    const auto total = opPacketsTotal();
+    return total == 0 ? 0.0
+                      : static_cast<double>(opPacketsByClass[static_cast<int>(
+                            dfg::FuClass::Am)]) /
+                            static_cast<double>(total);
+  }
+};
+
+struct MachineResult {
+  StreamMap outputs;
+  StreamMap amFinal;
+  /// Arrival instruction-time of each element of each output stream.
+  std::map<std::string, std::vector<std::int64_t>> outputTimes;
+  std::vector<std::uint64_t> firings;  ///< per cell
+  std::uint64_t totalFirings = 0;
+  std::int64_t cycles = 0;
+  bool completed = false;  ///< expected outputs all arrived (or none expected)
+  std::string note;
+  PacketCounters packets;
+  /// Busy instruction-times accumulated per FU class (for utilization).
+  std::array<std::uint64_t, 4> fuBusy{};
+  /// Firings per processing element (when a Placement was supplied).
+  std::vector<std::uint64_t> pePackets;
+
+  /// Results per instruction time over the whole run for `stream`.
+  double overallRate(const std::string& stream) const;
+  /// Steady-state rate measured between the 25% and 75% arrival marks,
+  /// excluding pipeline fill/drain transients.
+  double steadyRate(const std::string& stream) const;
+};
+
+/// Simulates `lowered` under `cfg`.
+MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
+                       const StreamMap& inputs, const RunOptions& opts = {});
+
+}  // namespace valpipe::machine

@@ -1,0 +1,46 @@
+// Untimed Kahn-network interpreter for instruction graphs.
+//
+// Arcs are unbounded FIFO queues and nodes fire whenever their required
+// operands are available.  Because every node is a deterministic stream
+// function (merge is non-strict but its choice is determined by the control
+// stream), the result is independent of firing order — this engine is the
+// functional ground truth a compiled graph is checked against, while the
+// machine engine (machine/engine.hpp) measures rates under the capacity-1
+// acknowledge discipline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "support/value.hpp"
+
+namespace valpipe::sim {
+
+/// Named streams: one wave of each array, least index first.
+using StreamMap = std::map<std::string, std::vector<Value>>;
+
+struct RunOptions {
+  int waves = 1;                       ///< how many array instances to stream
+  std::uint64_t maxFirings = 50'000'000;  ///< runaway guard
+  StreamMap amInitial;                 ///< pre-loaded array-memory contents
+};
+
+struct RunResult {
+  StreamMap outputs;                   ///< collected Output streams
+  StreamMap amFinal;                   ///< array-memory contents after the run
+  std::uint64_t firings = 0;
+  bool quiescent = false;              ///< reached a state where nothing fires
+  /// Non-empty when maxFirings was hit (likely a livelock / wrong control
+  /// sequence).
+  std::string note;
+};
+
+/// Runs graph `g` (composite FIFO nodes are fine here) on `inputs`.
+/// Input streams are replayed identically for every wave.
+RunResult interpret(const dfg::Graph& g, const StreamMap& inputs,
+                    const RunOptions& opts = {});
+
+}  // namespace valpipe::sim

@@ -1,0 +1,46 @@
+// Internal invariant checking for valpipe.
+//
+// VALPIPE_CHECK is used for conditions that indicate a bug inside the library
+// (never for user input errors, which are reported through Diagnostics).  It
+// is active in all build types: a violated invariant in a compiler/simulator
+// must never silently produce wrong machine code or wrong measurements.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace valpipe {
+
+/// Thrown when an internal invariant is violated (library bug, not user error).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace valpipe
+
+#define VALPIPE_CHECK(cond)                                                \
+  do {                                                                     \
+    if (!(cond)) ::valpipe::detail::checkFailed(#cond, __FILE__, __LINE__, \
+                                                std::string{});            \
+  } while (0)
+
+#define VALPIPE_CHECK_MSG(cond, msg)                                       \
+  do {                                                                     \
+    if (!(cond)) ::valpipe::detail::checkFailed(#cond, __FILE__, __LINE__, \
+                                                (msg));                    \
+  } while (0)
+
+#define VALPIPE_UNREACHABLE(msg) \
+  ::valpipe::detail::checkFailed("unreachable", __FILE__, __LINE__, (msg))

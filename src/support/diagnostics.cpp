@@ -1,0 +1,42 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace valpipe {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<no-loc>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << (severity == Severity::Error ? "error" : "warning");
+  if (loc.valid()) os << " at " << loc.str();
+  os << ": " << message;
+  return os.str();
+}
+
+void Diagnostics::error(SourceLoc loc, std::string message) {
+  items_.push_back({Diagnostic::Severity::Error, loc, std::move(message)});
+  ++errorCount_;
+}
+
+void Diagnostics::warning(SourceLoc loc, std::string message) {
+  items_.push_back({Diagnostic::Severity::Warning, loc, std::move(message)});
+}
+
+std::string Diagnostics::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& d : items_) {
+    if (!first) os << '\n';
+    os << d.str();
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace valpipe

@@ -1,0 +1,56 @@
+// Source locations and user-facing error reporting for the Val frontend and
+// the compiler.  Internal invariants use VALPIPE_CHECK (check.hpp) instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace valpipe {
+
+/// 1-based position in a Val source text.  line == 0 means "no location".
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+  std::string str() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// A single user-facing problem found in a Val program.
+struct Diagnostic {
+  enum class Severity { Error, Warning };
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics during lexing / parsing / checking / compilation.
+class Diagnostics {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  const std::vector<Diagnostic>& all() const { return items_; }
+  std::size_t errorCount() const { return errorCount_; }
+
+  /// All diagnostics joined with newlines (empty string when clean).
+  std::string str() const;
+
+ private:
+  std::vector<Diagnostic> items_;
+  std::size_t errorCount_ = 0;
+};
+
+/// Thrown by convenience entry points that do not hand back a Diagnostics
+/// object; carries the formatted diagnostic list.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace valpipe

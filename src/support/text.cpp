@@ -1,0 +1,57 @@
+#include "support/text.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace valpipe {
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string fmtDouble(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  VALPIPE_CHECK_MSG(row.size() == rows_.front().size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(rows_.front().size(), 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 != row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(rows_.front());
+  std::size_t total = 0;
+  for (auto w : width) total += w;
+  os << std::string(total + 2 * (width.size() - 1), '-') << '\n';
+  for (std::size_t r = 1; r < rows_.size(); ++r) emit(rows_[r]);
+  return os.str();
+}
+
+}  // namespace valpipe

@@ -1,0 +1,30 @@
+// Small text/formatting helpers shared across the library and the bench
+// harnesses (fixed-width table printing for the experiment reports).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace valpipe {
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Formats a double with `prec` significant decimal digits, trimming noise.
+std::string fmtDouble(double v, int prec = 4);
+
+/// Minimal fixed-width plain-text table used by the bench harnesses to print
+/// the paper-vs-measured rows.  Cells are right-padded; the header row is
+/// underlined with dashes.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace valpipe

@@ -1,0 +1,177 @@
+#include "support/value.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace valpipe {
+
+const char* toString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::Boolean: return "boolean";
+    case ValueKind::Integer: return "integer";
+    case ValueKind::Real: return "real";
+  }
+  return "?";
+}
+
+ValueKind Value::kind() const {
+  if (isBoolean()) return ValueKind::Boolean;
+  if (isInteger()) return ValueKind::Integer;
+  return ValueKind::Real;
+}
+
+namespace {
+[[noreturn]] void kindError(const char* want, const Value& got) {
+  throw ValueError(std::string("expected ") + want + ", got " + got.str());
+}
+}  // namespace
+
+bool Value::asBoolean() const {
+  if (!isBoolean()) kindError("boolean", *this);
+  return std::get<bool>(rep_);
+}
+
+std::int64_t Value::asInteger() const {
+  if (!isInteger()) kindError("integer", *this);
+  return std::get<std::int64_t>(rep_);
+}
+
+double Value::asReal() const {
+  if (!isReal()) kindError("real", *this);
+  return std::get<double>(rep_);
+}
+
+double Value::toReal() const {
+  if (isReal()) return std::get<double>(rep_);
+  if (isInteger()) return static_cast<double>(std::get<std::int64_t>(rep_));
+  kindError("numeric", *this);
+}
+
+std::string Value::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Boolean: return os << (v.asBoolean() ? "true" : "false");
+    case ValueKind::Integer: return os << v.asInteger();
+    case ValueKind::Real: return os << v.asReal();
+  }
+  return os;
+}
+
+namespace ops {
+namespace {
+
+/// Applies `fi` when both operands are integers, otherwise promotes to real
+/// and applies `fr`.  Booleans are rejected.
+template <class FInt, class FReal>
+Value numeric(const Value& a, const Value& b, FInt fi, FReal fr) {
+  if (a.isInteger() && b.isInteger()) return Value(fi(a.asInteger(), b.asInteger()));
+  return Value(fr(a.toReal(), b.toReal()));
+}
+
+template <class FInt, class FReal>
+Value compare(const Value& a, const Value& b, FInt fi, FReal fr) {
+  if (a.isInteger() && b.isInteger()) return Value(fi(a.asInteger(), b.asInteger()));
+  return Value(fr(a.toReal(), b.toReal()));
+}
+
+}  // namespace
+
+Value add(const Value& a, const Value& b) {
+  return numeric(a, b, [](auto x, auto y) { return x + y; },
+                 [](double x, double y) { return x + y; });
+}
+
+Value sub(const Value& a, const Value& b) {
+  return numeric(a, b, [](auto x, auto y) { return x - y; },
+                 [](double x, double y) { return x - y; });
+}
+
+Value mul(const Value& a, const Value& b) {
+  return numeric(a, b, [](auto x, auto y) { return x * y; },
+                 [](double x, double y) { return x * y; });
+}
+
+Value div(const Value& a, const Value& b) {
+  if (a.isInteger() && b.isInteger()) {
+    if (b.asInteger() == 0) throw ValueError("integer division by zero");
+    return Value(a.asInteger() / b.asInteger());
+  }
+  const double d = b.toReal();
+  if (d == 0.0) throw ValueError("real division by zero");
+  return Value(a.toReal() / d);
+}
+
+Value neg(const Value& a) {
+  if (a.isInteger()) return Value(-a.asInteger());
+  return Value(-a.toReal());
+}
+
+Value abs(const Value& a) {
+  if (a.isInteger()) return Value(a.asInteger() < 0 ? -a.asInteger() : a.asInteger());
+  return Value(std::fabs(a.toReal()));
+}
+
+Value min(const Value& a, const Value& b) {
+  return numeric(a, b, [](auto x, auto y) { return x < y ? x : y; },
+                 [](double x, double y) { return x < y ? x : y; });
+}
+
+Value max(const Value& a, const Value& b) {
+  return numeric(a, b, [](auto x, auto y) { return x > y ? x : y; },
+                 [](double x, double y) { return x > y ? x : y; });
+}
+
+Value mod(const Value& a, const Value& n) {
+  const std::int64_t x = a.asInteger();
+  const std::int64_t m = n.asInteger();
+  if (m <= 0) throw ValueError("modulo by non-positive value");
+  const std::int64_t r = x % m;
+  return Value(r < 0 ? r + m : r);
+}
+
+Value lt(const Value& a, const Value& b) {
+  return compare(a, b, [](auto x, auto y) { return x < y; },
+                 [](double x, double y) { return x < y; });
+}
+
+Value le(const Value& a, const Value& b) {
+  return compare(a, b, [](auto x, auto y) { return x <= y; },
+                 [](double x, double y) { return x <= y; });
+}
+
+Value gt(const Value& a, const Value& b) {
+  return compare(a, b, [](auto x, auto y) { return x > y; },
+                 [](double x, double y) { return x > y; });
+}
+
+Value ge(const Value& a, const Value& b) {
+  return compare(a, b, [](auto x, auto y) { return x >= y; },
+                 [](double x, double y) { return x >= y; });
+}
+
+Value eq(const Value& a, const Value& b) {
+  if (a.isBoolean() || b.isBoolean()) return Value(a.asBoolean() == b.asBoolean());
+  return compare(a, b, [](auto x, auto y) { return x == y; },
+                 [](double x, double y) { return x == y; });
+}
+
+Value ne(const Value& a, const Value& b) { return Value(!eq(a, b).asBoolean()); }
+
+Value logicalAnd(const Value& a, const Value& b) {
+  return Value(a.asBoolean() && b.asBoolean());
+}
+
+Value logicalOr(const Value& a, const Value& b) {
+  return Value(a.asBoolean() || b.asBoolean());
+}
+
+Value logicalNot(const Value& a) { return Value(!a.asBoolean()); }
+
+}  // namespace ops
+}  // namespace valpipe

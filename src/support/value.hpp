@@ -1,0 +1,94 @@
+// Runtime scalar value for the Val evaluator and the dataflow simulators.
+//
+// The static dataflow machine of the paper moves scalar result packets; a
+// packet payload is one of the Val scalar types: boolean, integer, real.
+// `Value` is that payload.  Arithmetic follows Val semantics: integer ops stay
+// integral, mixed integer/real promotes to real, relational operators yield
+// booleans.  Division by zero and type confusion raise ValueError — the
+// simulators must never fold such an error into a bogus number.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace valpipe {
+
+/// Error in a scalar operation (type mismatch, division by zero, ...).
+class ValueError : public std::runtime_error {
+ public:
+  explicit ValueError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Discriminator for Value.
+enum class ValueKind { Boolean, Integer, Real };
+
+/// Returns a printable name ("boolean", "integer", "real").
+const char* toString(ValueKind kind);
+
+/// A Val scalar: boolean, integer or real.  Default-constructs to integer 0.
+class Value {
+ public:
+  Value() : rep_(std::int64_t{0}) {}
+  /* implicit */ Value(bool b) : rep_(b) {}                 // NOLINT
+  /* implicit */ Value(std::int64_t i) : rep_(i) {}         // NOLINT
+  /* implicit */ Value(int i) : rep_(std::int64_t{i}) {}    // NOLINT
+  /* implicit */ Value(double r) : rep_(r) {}               // NOLINT
+
+  ValueKind kind() const;
+
+  bool isBoolean() const { return std::holds_alternative<bool>(rep_); }
+  bool isInteger() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool isReal() const { return std::holds_alternative<double>(rep_); }
+  bool isNumeric() const { return isInteger() || isReal(); }
+
+  /// Accessors throw ValueError when the kind does not match.
+  bool asBoolean() const;
+  std::int64_t asInteger() const;
+  double asReal() const;
+  /// Numeric value as double (integer is widened); throws on boolean.
+  double toReal() const;
+
+  /// Exact structural equality (kind and payload).  `1 == 1.0` is false here;
+  /// use the EQ operation for Val's numeric comparison.
+  friend bool operator==(const Value& a, const Value& b) { return a.rep_ == b.rep_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  std::string str() const;
+
+ private:
+  std::variant<bool, std::int64_t, double> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Scalar operations shared by the reference evaluator and both simulators so
+/// every engine computes bit-identical results.
+namespace ops {
+
+Value add(const Value& a, const Value& b);
+Value sub(const Value& a, const Value& b);
+Value mul(const Value& a, const Value& b);
+Value div(const Value& a, const Value& b);
+Value neg(const Value& a);
+Value abs(const Value& a);
+Value min(const Value& a, const Value& b);
+Value max(const Value& a, const Value& b);
+/// Euclidean modulo on integers (result in [0, n) for n > 0).
+Value mod(const Value& a, const Value& n);
+
+Value lt(const Value& a, const Value& b);
+Value le(const Value& a, const Value& b);
+Value gt(const Value& a, const Value& b);
+Value ge(const Value& a, const Value& b);
+Value eq(const Value& a, const Value& b);
+Value ne(const Value& a, const Value& b);
+
+Value logicalAnd(const Value& a, const Value& b);
+Value logicalOr(const Value& a, const Value& b);
+Value logicalNot(const Value& a);
+
+}  // namespace ops
+}  // namespace valpipe

@@ -1,0 +1,147 @@
+#include "val/ast.hpp"
+
+#include <sstream>
+
+namespace valpipe::val {
+
+const char* toString(Scalar s) {
+  switch (s) {
+    case Scalar::Real: return "real";
+    case Scalar::Integer: return "integer";
+    case Scalar::Boolean: return "boolean";
+  }
+  return "?";
+}
+
+std::string Range::str() const {
+  std::ostringstream os;
+  os << '[' << lo << ", " << hi << ']';
+  return os.str();
+}
+
+std::string Type::str() const {
+  std::string s = isArray ? std::string("array[") + toString(scalar) + "]"
+                          : std::string(toString(scalar));
+  if (isArray && range) s += range->str();
+  if (isArray && range2) s += range2->str();
+  return s;
+}
+
+const char* toString(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "=";
+    case BinOp::Ne: return "~=";
+    case BinOp::And: return "&";
+    case BinOp::Or: return "|";
+  }
+  return "?";
+}
+
+const char* toString(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::Not: return "~";
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Expr> fresh(Expr::Kind k, SourceLoc loc) {
+  auto e = std::make_shared<Expr>();
+  e->kind = k;
+  e->loc = loc;
+  return e;
+}
+}  // namespace
+
+ExprPtr Expr::mkInt(std::int64_t v, SourceLoc loc) {
+  auto e = fresh(Kind::IntLit, loc);
+  e->intValue = v;
+  return e;
+}
+
+ExprPtr Expr::mkReal(double v, SourceLoc loc) {
+  auto e = fresh(Kind::RealLit, loc);
+  e->realValue = v;
+  return e;
+}
+
+ExprPtr Expr::mkBool(bool v, SourceLoc loc) {
+  auto e = fresh(Kind::BoolLit, loc);
+  e->boolValue = v;
+  return e;
+}
+
+ExprPtr Expr::mkIdent(std::string name, SourceLoc loc) {
+  auto e = fresh(Kind::Ident, loc);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::mkUnary(UnOp op, ExprPtr a, SourceLoc loc) {
+  auto e = fresh(Kind::Unary, loc);
+  e->uop = op;
+  e->a = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::mkBinary(BinOp op, ExprPtr a, ExprPtr b, SourceLoc loc) {
+  auto e = fresh(Kind::Binary, loc);
+  e->bop = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::mkIf(ExprPtr cond, ExprPtr thenE, ExprPtr elseE, SourceLoc loc) {
+  auto e = fresh(Kind::If, loc);
+  e->a = std::move(cond);
+  e->b = std::move(thenE);
+  e->c = std::move(elseE);
+  return e;
+}
+
+ExprPtr Expr::mkLet(std::vector<Def> defs, ExprPtr body, SourceLoc loc) {
+  auto e = fresh(Kind::Let, loc);
+  e->defs = std::move(defs);
+  e->body = std::move(body);
+  return e;
+}
+
+ExprPtr Expr::mkIndex(std::string array, ExprPtr index, SourceLoc loc) {
+  auto e = fresh(Kind::ArrayIndex, loc);
+  e->name = std::move(array);
+  e->a = std::move(index);
+  return e;
+}
+
+ExprPtr Expr::mkIndex2(std::string array, ExprPtr row, ExprPtr col,
+                       SourceLoc loc) {
+  auto e = fresh(Kind::ArrayIndex, loc);
+  e->name = std::move(array);
+  e->a = std::move(row);
+  e->b = std::move(col);
+  return e;
+}
+
+const Block* Module::findBlock(const std::string& name) const {
+  for (const Block& b : blocks)
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+const Param* Module::findParam(const std::string& name) const {
+  for (const Param& p : params)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+}  // namespace valpipe::val

@@ -1,0 +1,158 @@
+// Abstract syntax for the pipe-structured Val subset (§4 of the paper).
+//
+// A module is a set of manifest constants plus one function whose body binds
+// array-valued blocks — each a forall or a for-iter expression — and returns
+// one of them.  Expressions inside blocks are the paper's candidate
+// "primitive expressions"; classify.hpp checks the §5–§7 restrictions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "val/types.hpp"
+
+namespace valpipe::val {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class BinOp { Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne, And, Or };
+enum class UnOp { Neg, Not };
+
+const char* toString(BinOp op);
+const char* toString(UnOp op);
+
+/// A let definition `name : type := value`.
+struct Def {
+  std::string name;
+  std::optional<Type> declaredType;
+  ExprPtr value;
+  SourceLoc loc;
+};
+
+/// One expression node.  A tagged struct (rather than a class hierarchy)
+/// keeps the pattern matching in the classifier / linear analyzer compact.
+struct Expr {
+  enum class Kind {
+    IntLit,
+    RealLit,
+    BoolLit,
+    Ident,
+    Unary,
+    Binary,
+    If,          ///< if a then b else c endif
+    Let,         ///< let defs in body endlet
+    ArrayIndex,  ///< name '[' a ']'  or  name '[' a ',' b ']' (2-D)
+  };
+
+  Kind kind = Kind::IntLit;
+  SourceLoc loc;
+
+  std::int64_t intValue = 0;  // IntLit
+  double realValue = 0.0;     // RealLit
+  bool boolValue = false;     // BoolLit
+  std::string name;           // Ident, ArrayIndex (array name)
+  UnOp uop = UnOp::Neg;
+  BinOp bop = BinOp::Add;
+  ExprPtr a, b, c;            // operands; If: a=cond b=then c=else
+  std::vector<Def> defs;      // Let
+  ExprPtr body;               // Let
+
+  // --- factories ---
+  static ExprPtr mkInt(std::int64_t v, SourceLoc loc = {});
+  static ExprPtr mkReal(double v, SourceLoc loc = {});
+  static ExprPtr mkBool(bool v, SourceLoc loc = {});
+  static ExprPtr mkIdent(std::string name, SourceLoc loc = {});
+  static ExprPtr mkUnary(UnOp op, ExprPtr a, SourceLoc loc = {});
+  static ExprPtr mkBinary(BinOp op, ExprPtr a, ExprPtr b, SourceLoc loc = {});
+  static ExprPtr mkIf(ExprPtr cond, ExprPtr thenE, ExprPtr elseE,
+                      SourceLoc loc = {});
+  static ExprPtr mkLet(std::vector<Def> defs, ExprPtr body, SourceLoc loc = {});
+  static ExprPtr mkIndex(std::string array, ExprPtr index, SourceLoc loc = {});
+  /// Two-dimensional element access A[row, col] (row index in `a`, column
+  /// index in `b`).
+  static ExprPtr mkIndex2(std::string array, ExprPtr row, ExprPtr col,
+                          SourceLoc loc = {});
+
+  bool isIndex2() const { return kind == Kind::ArrayIndex && b != nullptr; }
+};
+
+/// forall i in [lo, hi]  <defs>  construct <accum>  endall  (§4 Example 1).
+/// The two-dimensional form (§9 extension) adds a second index variable:
+/// forall i in [lo, hi], j in [lo2, hi2] ... — elements are produced
+/// row-major (i slow, j fast).
+struct ForallBlock {
+  std::string indexVar;
+  ExprPtr lo, hi;  ///< manifest integer expressions (consts + literals)
+  /// Second (column) dimension; empty indexVar2 means one-dimensional.
+  std::string indexVar2;
+  ExprPtr lo2, hi2;
+  std::vector<Def> defs;
+  ExprPtr accum;
+  SourceLoc loc;
+
+  bool is2d() const { return !indexVar2.empty(); }
+};
+
+/// The paper's primitive for-iter shape (§7 Definition, Example 2):
+///
+///   for i : integer := p;  T : array[real] := [r: init]
+///   do let <defs> in
+///        if <cond> then iter T := T[i: append]; i := i + 1 enditer
+///        else T endif
+///      endlet
+///   endfor
+struct ForIterBlock {
+  std::string indexVar;   ///< i
+  ExprPtr indexInit;      ///< p (manifest)
+  std::string accVar;     ///< T
+  ExprPtr accInitIndex;   ///< r (manifest)
+  ExprPtr accInitValue;   ///< init (primitive scalar expression)
+  std::vector<Def> defs;  ///< body definitions (may reference T[i-1])
+  ExprPtr cond;           ///< continuation condition (i < q or i <= q)
+  ExprPtr appendValue;    ///< element appended each cycle
+  SourceLoc loc;
+  /// Last index value for which an append happens (q in the §7 definition);
+  /// resolved from `cond` by the type checker.
+  std::optional<std::int64_t> lastIndex;
+};
+
+/// One array-producing block of a pipe-structured program.
+struct Block {
+  std::string name;  ///< the array it defines
+  Type type;         ///< declared array type (range resolved by typecheck)
+  std::variant<ForallBlock, ForIterBlock> body;
+  SourceLoc loc;
+
+  bool isForall() const { return std::holds_alternative<ForallBlock>(body); }
+  const ForallBlock& forall() const { return std::get<ForallBlock>(body); }
+  const ForIterBlock& forIter() const { return std::get<ForIterBlock>(body); }
+};
+
+struct Param {
+  std::string name;
+  Type type;
+  SourceLoc loc;
+};
+
+/// A whole pipe-structured program.
+struct Module {
+  std::map<std::string, std::int64_t> consts;  ///< manifest constants, in order
+  std::string functionName;
+  std::vector<Param> params;
+  Type returnType;
+  std::vector<Block> blocks;  ///< in binding order
+  std::string resultName;     ///< the `in <name>` result
+  SourceLoc loc;
+
+  const Block* findBlock(const std::string& name) const;
+  const Param* findParam(const std::string& name) const;
+};
+
+}  // namespace valpipe::val

@@ -1,0 +1,223 @@
+#include "val/classify.hpp"
+
+#include "val/constfold.hpp"
+#include "val/linear.hpp"
+
+namespace valpipe::val {
+
+namespace {
+
+/// Index form `i + c` with manifest c; nullopt otherwise.
+std::optional<std::int64_t> offsetForm(
+    const ExprPtr& idx, const std::string& idxVar,
+    const std::map<std::string, std::int64_t>& consts) {
+  auto isIdx = [&](const ExprPtr& e) {
+    return e->kind == Expr::Kind::Ident && e->name == idxVar;
+  };
+  if (isIdx(idx)) return 0;
+  if (idx->kind != Expr::Kind::Binary) return std::nullopt;
+  if (idx->bop == BinOp::Add) {
+    if (isIdx(idx->a)) return constEvalInt(idx->b, consts);
+    if (isIdx(idx->b)) return constEvalInt(idx->a, consts);
+    return std::nullopt;
+  }
+  if (idx->bop == BinOp::Sub && isIdx(idx->a)) {
+    auto c = constEvalInt(idx->b, consts);
+    if (c) return -*c;
+  }
+  return std::nullopt;
+}
+
+ClassifyResult checkPE(const ExprPtr& e, const std::string& idxVar,
+                       std::set<std::string> arrays,
+                       const std::map<std::string, std::int64_t>& consts,
+                       const std::string& idxVar2) {
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::RealLit:
+    case Expr::Kind::BoolLit:
+      return ClassifyResult::yes();  // rule 1
+    case Expr::Kind::Ident:
+      if (arrays.count(e->name))
+        return ClassifyResult::no("array '" + e->name +
+                                  "' used without an element selection");
+      return ClassifyResult::yes();  // rule 2
+    case Expr::Kind::Unary:
+      return checkPE(e->a, idxVar, arrays, consts, idxVar2);  // rule 3 (unary)
+    case Expr::Kind::Binary: {     // rule 3
+      if (auto r = checkPE(e->a, idxVar, arrays, consts, idxVar2); !r) return r;
+      return checkPE(e->b, idxVar, arrays, consts, idxVar2);
+    }
+    case Expr::Kind::ArrayIndex: {  // rule 4
+      if (idxVar.empty())
+        return ClassifyResult::no(
+            "array access in a context with no index variable");
+      if (!arrays.count(e->name))
+        return ClassifyResult::no("'" + e->name + "' is not a visible array");
+      if (e->isIndex2()) {
+        if (idxVar2.empty())
+          return ClassifyResult::no("2-D selection outside a 2-D forall");
+        if (!offsetForm(e->a, idxVar, consts) ||
+            !offsetForm(e->b, idxVar2, consts))
+          return ClassifyResult::no(
+              "2-D index of " + e->name + "[...] is not of the form " +
+              idxVar + " + c1, " + idxVar2 + " + c2 (rule 4)");
+        return ClassifyResult::yes();
+      }
+      if (!offsetForm(e->a, idxVar, consts))
+        return ClassifyResult::no("index of " + e->name +
+                                  "[...] is not of the form " + idxVar +
+                                  " + c (rule 4)");
+      return ClassifyResult::yes();
+    }
+    case Expr::Kind::Let: {  // rule 5
+      for (const Def& d : e->defs) {
+        if (auto r = checkPE(d.value, idxVar, arrays, consts, idxVar2); !r)
+          return r;
+        arrays.erase(d.name);  // definitions bind scalars, shadowing arrays
+      }
+      return checkPE(e->body, idxVar, arrays, consts, idxVar2);
+    }
+    case Expr::Kind::If: {  // rule 6
+      if (auto r = checkPE(e->a, idxVar, arrays, consts, idxVar2); !r) return r;
+      if (auto r = checkPE(e->b, idxVar, arrays, consts, idxVar2); !r) return r;
+      return checkPE(e->c, idxVar, arrays, consts, idxVar2);
+    }
+  }
+  return ClassifyResult::no("unknown expression kind");
+}
+
+/// Every access to `accVar` inside `e` must read exactly element i-1.
+ClassifyResult accVarAccesses(const ExprPtr& e, const std::string& accVar,
+                              const std::string& idxVar,
+                              const std::map<std::string, std::int64_t>& consts) {
+  if (!e) return ClassifyResult::yes();
+  if (e->kind == Expr::Kind::ArrayIndex && e->name == accVar) {
+    auto off = offsetForm(e->a, idxVar, consts);
+    if (!off || *off != -1)
+      return ClassifyResult::no("loop array '" + accVar +
+                                "' may only be read as " + accVar + "[" +
+                                idxVar + "-1] (first-order recurrence)");
+  }
+  for (const ExprPtr& sub : {e->a, e->b, e->c, e->body})
+    if (sub)
+      if (auto r = accVarAccesses(sub, accVar, idxVar, consts); !r) return r;
+  for (const Def& d : e->defs)
+    if (auto r = accVarAccesses(d.value, accVar, idxVar, consts); !r) return r;
+  return ClassifyResult::yes();
+}
+
+}  // namespace
+
+std::optional<std::int64_t> arrayIndexOffset(
+    const ExprPtr& idx, const std::string& idxVar,
+    const std::map<std::string, std::int64_t>& consts) {
+  return offsetForm(idx, idxVar, consts);
+}
+
+std::set<std::string> visibleArrays(const Module& m, const Block& b) {
+  std::set<std::string> arrays;
+  for (const Param& p : m.params)
+    if (p.type.isArray) arrays.insert(p.name);
+  for (const Block& prior : m.blocks) {
+    if (&prior == &b) break;
+    arrays.insert(prior.name);
+  }
+  return arrays;
+}
+
+ClassifyResult isPrimitiveExpr(const ExprPtr& e, const std::string& idxVar,
+                               const std::set<std::string>& arrays,
+                               const std::map<std::string, std::int64_t>& consts,
+                               const std::string& idxVar2) {
+  return checkPE(e, idxVar, arrays, consts, idxVar2);
+}
+
+ClassifyResult isScalarPrimitiveExpr(
+    const ExprPtr& e, const std::map<std::string, std::int64_t>& consts) {
+  return checkPE(e, std::string{}, {}, consts, std::string{});
+}
+
+ClassifyResult isPrimitiveForall(const Block& b, const Module& m) {
+  if (!b.isForall()) return ClassifyResult::no("not a forall block");
+  const ForallBlock& fb = b.forall();
+  // (1) manifest range — guaranteed by the parser's constExpr; re-derive to
+  // be safe.
+  if (!constEvalInt(fb.lo, m.consts) || !constEvalInt(fb.hi, m.consts))
+    return ClassifyResult::no("forall range is not manifest");
+  // (2) definitions and accumulation are primitive on i.
+  const std::set<std::string> arrays = visibleArrays(m, b);
+  for (const Def& d : fb.defs)
+    if (auto r = isPrimitiveExpr(d.value, fb.indexVar, arrays, m.consts,
+                                 fb.indexVar2);
+        !r)
+      return ClassifyResult::no("definition '" + d.name + "': " + r.reason);
+  if (auto r = isPrimitiveExpr(fb.accum, fb.indexVar, arrays, m.consts,
+                               fb.indexVar2);
+      !r)
+    return ClassifyResult::no("accumulation: " + r.reason);
+  return ClassifyResult::yes();
+}
+
+ClassifyResult isPrimitiveForIter(const Block& b, const Module& m) {
+  if (b.isForall()) return ClassifyResult::no("not a for-iter block");
+  const ForIterBlock& fi = b.forIter();
+  if (!fi.lastIndex)
+    return ClassifyResult::no("loop bound is not manifest (run typecheck)");
+  // Initial element: primitive scalar expression (§7 (2)).
+  if (auto r = isScalarPrimitiveExpr(fi.accInitValue, m.consts); !r)
+    return ClassifyResult::no("initial element: " + r.reason);
+  // Body parts: primitive on i over the visible arrays plus the loop array.
+  std::set<std::string> arrays = visibleArrays(m, b);
+  arrays.insert(fi.accVar);
+  for (const Def& d : fi.defs) {
+    if (auto r = isPrimitiveExpr(d.value, fi.indexVar, arrays, m.consts); !r)
+      return ClassifyResult::no("definition '" + d.name + "': " + r.reason);
+    if (auto r = accVarAccesses(d.value, fi.accVar, fi.indexVar, m.consts); !r)
+      return r;
+  }
+  if (auto r = isPrimitiveExpr(fi.appendValue, fi.indexVar, arrays, m.consts);
+      !r)
+    return ClassifyResult::no("appended element: " + r.reason);
+  if (auto r = accVarAccesses(fi.appendValue, fi.accVar, fi.indexVar, m.consts);
+      !r)
+    return r;
+  // The continuation condition must not read streams (it is folded into
+  // control sequences).
+  if (auto r = isScalarPrimitiveExpr(fi.cond, m.consts); !r)
+    return ClassifyResult::no("loop condition: " + r.reason);
+  return ClassifyResult::yes();
+}
+
+ClassifyResult isSimpleForIter(const Block& b, const Module& m) {
+  if (auto r = isPrimitiveForIter(b, m); !r) return r;
+  const ForIterBlock& fi = b.forIter();
+  auto lin = decomposeLinear(bodyExpression(fi), fi.accVar, fi.indexVar, m.consts);
+  if (!lin)
+    return ClassifyResult::no(
+        "recurrence is not linear in " + fi.accVar + "[" + fi.indexVar +
+        "-1]; no companion function is known (§7 trade-off discussion)");
+  // alpha/beta must themselves be primitive on i without the loop array.
+  const std::set<std::string> arrays = visibleArrays(m, b);
+  if (auto r = isPrimitiveExpr(lin->alpha, fi.indexVar, arrays, m.consts); !r)
+    return ClassifyResult::no("recurrence coefficient: " + r.reason);
+  if (auto r = isPrimitiveExpr(lin->beta, fi.indexVar, arrays, m.consts); !r)
+    return ClassifyResult::no("recurrence offset: " + r.reason);
+  return ClassifyResult::yes();
+}
+
+ClassifyResult isPipeStructured(const Module& m) {
+  if (m.blocks.empty()) return ClassifyResult::no("no blocks");
+  for (const Block& b : m.blocks) {
+    if (b.isForall()) {
+      if (auto r = isPrimitiveForall(b, m); !r)
+        return ClassifyResult::no("block '" + b.name + "': " + r.reason);
+    } else {
+      if (auto r = isPrimitiveForIter(b, m); !r)
+        return ClassifyResult::no("block '" + b.name + "': " + r.reason);
+    }
+  }
+  return ClassifyResult::yes();
+}
+
+}  // namespace valpipe::val

@@ -1,0 +1,71 @@
+// The paper's program-class predicates (§5–§7):
+//
+//   - primitive expression on an index variable (rules 1–6 of §5),
+//   - scalar primitive expression (no rule 4, i.e. no array access),
+//   - primitive forall expression (§6),
+//   - primitive for-iter construct (§7 Definition),
+//   - simple for-iter expression (§7: the recurrence is linear, so a
+//     companion function exists and is itself a primitive expression),
+//   - pipe-structured program (§4 Definition).
+//
+// Each predicate returns the first violated restriction, so the compiler can
+// tell a user exactly why a program falls outside the fully-pipelinable
+// class.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "val/ast.hpp"
+
+namespace valpipe::val {
+
+struct ClassifyResult {
+  bool ok = true;
+  std::string reason;
+
+  static ClassifyResult yes() { return {}; }
+  static ClassifyResult no(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// Rules 1–6 of §5.  `idxVar` is the index variable (empty for rule-4-free
+/// contexts); `arrays` are the names usable in rule 4.  `idxVar2` is the
+/// column index variable of a 2-D forall (§9 extension); 2-D selections
+/// A[i+c1, j+c2] are the rule-4 form there.
+ClassifyResult isPrimitiveExpr(const ExprPtr& e, const std::string& idxVar,
+                               const std::set<std::string>& arrays,
+                               const std::map<std::string, std::int64_t>& consts,
+                               const std::string& idxVar2 = {});
+
+/// Rules 1,2,3,5,6 only (no array access).
+ClassifyResult isScalarPrimitiveExpr(
+    const ExprPtr& e, const std::map<std::string, std::int64_t>& consts);
+
+/// §6: manifest range and all definition/accumulation parts primitive on i.
+ClassifyResult isPrimitiveForall(const Block& b, const Module& m);
+
+/// §7 Definition: canonical loop shape (enforced at parse time), body parts
+/// primitive on i, and the loop array referenced only as T[i-1].
+ClassifyResult isPrimitiveForIter(const Block& b, const Module& m);
+
+/// §7: primitive for-iter whose recurrence x_i = F(a_i, x_{i-1}) is linear,
+/// x_i = alpha_i * x_{i-1} + beta_i, with alpha/beta primitive on i — the
+/// class Theorem 3 fully pipelines via the companion function.
+ClassifyResult isSimpleForIter(const Block& b, const Module& m);
+
+/// §4 Definition plus the Theorem 4 premise: every forall primitive, every
+/// for-iter primitive (and notes which are simple).
+ClassifyResult isPipeStructured(const Module& m);
+
+/// Names visible as arrays to block `b` (parameters + earlier blocks).
+std::set<std::string> visibleArrays(const Module& m, const Block& b);
+
+/// Manifest offset c of an array-access index of the form `idxVar + c`
+/// (rule 4); nullopt for any other shape.
+std::optional<std::int64_t> arrayIndexOffset(
+    const ExprPtr& idx, const std::string& idxVar,
+    const std::map<std::string, std::int64_t>& consts);
+
+}  // namespace valpipe::val

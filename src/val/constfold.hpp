@@ -1,0 +1,50 @@
+// Manifest-constant evaluation over expressions (integer literals, declared
+// constants, + - * and unary minus) — the paper's "fixed index ranges"
+// requirement makes these foldable everywhere ranges appear.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/value.hpp"
+#include "val/ast.hpp"
+
+namespace valpipe::val {
+
+/// Integer value of `e` if it is a manifest expression over `consts`.
+std::optional<std::int64_t> constEvalInt(
+    const ExprPtr& e, const std::map<std::string, std::int64_t>& consts);
+
+/// Resolves a for-iter continuation condition of the form `i < q` / `i <= q`
+/// (manifest q) to the last index value for which an append happens.
+std::optional<std::int64_t> resolveLoopLastIndex(
+    const ForIterBlock& fi, const std::map<std::string, std::int64_t>& consts);
+
+/// Evaluates `e` at index value `i` when its free variables are only `idxVar`
+/// and manifest constants (an "index-only" expression — the ones the compiler
+/// folds into boolean control sequences, Fig. 6).  nullopt when `e` refers to
+/// anything else or the evaluation faults.
+std::optional<Value> evalIndexOnlyAt(
+    const ExprPtr& e, const std::string& idxVar, std::int64_t i,
+    const std::map<std::string, std::int64_t>& consts);
+
+/// evalIndexOnlyAt over every index in `range`; nullopt if any point fails.
+std::optional<std::vector<Value>> evalOverIndex(
+    const ExprPtr& e, const std::string& idxVar, Range range,
+    const std::map<std::string, std::int64_t>& consts);
+
+/// Two-dimensional variant: evaluates `e` (free variables only `v1`, `v2`
+/// and constants) at every (i, j) pair, row-major (i slow).
+std::optional<Value> evalIndexOnlyAt2(
+    const ExprPtr& e, const std::string& v1, std::int64_t i,
+    const std::string& v2, std::int64_t j,
+    const std::map<std::string, std::int64_t>& consts);
+
+std::optional<std::vector<Value>> evalOverIndex2(
+    const ExprPtr& e, const std::string& v1, Range r1, const std::string& v2,
+    Range r2, const std::map<std::string, std::int64_t>& consts);
+
+}  // namespace valpipe::val

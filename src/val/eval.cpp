@@ -1,0 +1,187 @@
+#include "val/eval.hpp"
+
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+#include "val/constfold.hpp"
+
+namespace valpipe::val {
+
+const Value& ArrayVal::at(std::int64_t i) const {
+  if (is2d()) throw ValueError("1-D selection on a 2-D array");
+  if (i < lo || i > hi())
+    throw ValueError("array index " + std::to_string(i) + " outside [" +
+                     std::to_string(lo) + ", " + std::to_string(hi()) + "]");
+  return elems[static_cast<std::size_t>(i - lo)];
+}
+
+const Value& ArrayVal::at2(std::int64_t i, std::int64_t j) const {
+  if (!is2d()) throw ValueError("2-D selection on a 1-D array");
+  if (i < lo || i > hi() || j < lo2 || j > hi2())
+    throw ValueError("array index (" + std::to_string(i) + ", " +
+                     std::to_string(j) + ") out of range");
+  return elems[static_cast<std::size_t>((i - lo) * width + (j - lo2))];
+}
+
+namespace {
+
+struct Evaluator {
+  const Module& m;
+  ArrayMap arrays;  ///< params + computed blocks (+ loop array while inside)
+
+  Value expr(const ExprPtr& e, std::map<std::string, Value>& scalars) {
+    switch (e->kind) {
+      case Expr::Kind::IntLit: return Value(e->intValue);
+      case Expr::Kind::RealLit: return Value(e->realValue);
+      case Expr::Kind::BoolLit: return Value(e->boolValue);
+      case Expr::Kind::Ident: {
+        auto it = scalars.find(e->name);
+        if (it != scalars.end()) return it->second;
+        auto c = m.consts.find(e->name);
+        if (c != m.consts.end()) return Value(c->second);
+        throw CompileError("undefined scalar '" + e->name + "' at " +
+                           e->loc.str());
+      }
+      case Expr::Kind::Unary: {
+        const Value a = expr(e->a, scalars);
+        return e->uop == UnOp::Neg ? ops::neg(a) : ops::logicalNot(a);
+      }
+      case Expr::Kind::Binary: {
+        const Value a = expr(e->a, scalars);
+        const Value b = expr(e->b, scalars);
+        switch (e->bop) {
+          case BinOp::Add: return ops::add(a, b);
+          case BinOp::Sub: return ops::sub(a, b);
+          case BinOp::Mul: return ops::mul(a, b);
+          case BinOp::Div: return ops::div(a, b);
+          case BinOp::Lt: return ops::lt(a, b);
+          case BinOp::Le: return ops::le(a, b);
+          case BinOp::Gt: return ops::gt(a, b);
+          case BinOp::Ge: return ops::ge(a, b);
+          case BinOp::Eq: return ops::eq(a, b);
+          case BinOp::Ne: return ops::ne(a, b);
+          case BinOp::And: return ops::logicalAnd(a, b);
+          case BinOp::Or: return ops::logicalOr(a, b);
+        }
+        VALPIPE_UNREACHABLE("binop");
+      }
+      case Expr::Kind::If:
+        return expr(e->a, scalars).asBoolean() ? expr(e->b, scalars)
+                                               : expr(e->c, scalars);
+      case Expr::Kind::Let: {
+        std::map<std::string, Value> inner = scalars;
+        for (const Def& d : e->defs) inner[d.name] = expr(d.value, inner);
+        return expr(e->body, inner);
+      }
+      case Expr::Kind::ArrayIndex: {
+        auto it = arrays.find(e->name);
+        if (it == arrays.end())
+          throw CompileError("undefined array '" + e->name + "' at " +
+                             e->loc.str());
+        const Value idx = expr(e->a, scalars);
+        if (e->isIndex2()) {
+          const Value idx2 = expr(e->b, scalars);
+          return it->second.at2(idx.asInteger(), idx2.asInteger());
+        }
+        return it->second.at(idx.asInteger());
+      }
+    }
+    VALPIPE_UNREACHABLE("expr kind");
+  }
+
+  ArrayVal forall(const ForallBlock& fb) {
+    const auto lo = constEvalInt(fb.lo, m.consts);
+    const auto hi = constEvalInt(fb.hi, m.consts);
+    VALPIPE_CHECK(lo && hi);
+    ArrayVal out;
+    out.lo = *lo;
+    if (fb.is2d()) {
+      const auto lo2 = constEvalInt(fb.lo2, m.consts);
+      const auto hi2 = constEvalInt(fb.hi2, m.consts);
+      VALPIPE_CHECK(lo2 && hi2);
+      out.lo2 = *lo2;
+      out.width = *hi2 - *lo2 + 1;
+      for (std::int64_t i = *lo; i <= *hi; ++i)
+        for (std::int64_t j = *lo2; j <= *hi2; ++j) {
+          std::map<std::string, Value> scalars{{fb.indexVar, Value(i)},
+                                               {fb.indexVar2, Value(j)}};
+          for (const Def& d : fb.defs) scalars[d.name] = expr(d.value, scalars);
+          out.elems.push_back(expr(fb.accum, scalars));
+        }
+      return out;
+    }
+    out.elems.reserve(static_cast<std::size_t>(*hi - *lo + 1));
+    for (std::int64_t i = *lo; i <= *hi; ++i) {
+      std::map<std::string, Value> scalars{{fb.indexVar, Value(i)}};
+      for (const Def& d : fb.defs) scalars[d.name] = expr(d.value, scalars);
+      out.elems.push_back(expr(fb.accum, scalars));
+    }
+    return out;
+  }
+
+  ArrayVal forIter(const ForIterBlock& fi) {
+    const auto p = constEvalInt(fi.indexInit, m.consts);
+    const auto r = constEvalInt(fi.accInitIndex, m.consts);
+    VALPIPE_CHECK(p && r && fi.lastIndex);
+    ArrayVal acc;
+    acc.lo = *r;
+    {
+      std::map<std::string, Value> scalars;
+      acc.elems.push_back(expr(fi.accInitValue, scalars));
+    }
+    for (std::int64_t i = *p; i <= *fi.lastIndex; ++i) {
+      arrays[fi.accVar] = acc;  // snapshot visible as T
+      std::map<std::string, Value> scalars{{fi.indexVar, Value(i)}};
+      for (const Def& d : fi.defs) scalars[d.name] = expr(d.value, scalars);
+      VALPIPE_CHECK_MSG(expr(fi.cond, scalars).asBoolean(),
+                        "loop condition disagrees with resolved bound");
+      acc.elems.push_back(expr(fi.appendValue, scalars));
+    }
+    arrays.erase(fi.accVar);
+    return acc;
+  }
+};
+
+}  // namespace
+
+Value evalExpr(const ExprPtr& e, const std::map<std::string, Value>& scalars,
+               const ArrayMap& arrays) {
+  Module empty;
+  Evaluator ev{empty, arrays};
+  std::map<std::string, Value> s = scalars;
+  return ev.expr(e, s);
+}
+
+EvalResult evaluate(const Module& m, const ArrayMap& params) {
+  Evaluator ev{m, {}};
+  for (const Param& p : m.params) {
+    if (!p.type.isArray) continue;
+    auto it = params.find(p.name);
+    if (it == params.end())
+      throw CompileError("missing input array '" + p.name + "'");
+    VALPIPE_CHECK(p.type.range.has_value());
+    if (p.type.is2d() != it->second.is2d() ||
+        (p.type.is2d() &&
+         (it->second.lo2 != p.type.range2->lo ||
+          it->second.width != p.type.range2->length())))
+      throw CompileError("input array '" + p.name +
+                         "' does not match its declared dimensionality");
+    if (it->second.lo != p.type.range->lo ||
+        static_cast<std::int64_t>(it->second.elems.size()) !=
+            p.type.streamLength())
+      throw CompileError("input array '" + p.name +
+                         "' does not match its declared range " +
+                         p.type.range->str());
+    ev.arrays[p.name] = it->second;
+  }
+
+  EvalResult res;
+  for (const Block& b : m.blocks) {
+    ArrayVal arr = b.isForall() ? ev.forall(b.forall()) : ev.forIter(b.forIter());
+    ev.arrays[b.name] = arr;
+    res.blocks[b.name] = std::move(arr);
+  }
+  res.result = res.blocks.at(m.resultName);
+  return res;
+}
+
+}  // namespace valpipe::val

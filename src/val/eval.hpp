@@ -1,0 +1,52 @@
+// Reference (tree-walking) evaluator for pipe-structured modules — the
+// functional ground truth every compiled instruction graph is validated
+// against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/value.hpp"
+#include "val/ast.hpp"
+
+namespace valpipe::val {
+
+/// An array value with its manifest lower bound(s).  Two-dimensional arrays
+/// store row-major with `width` columns starting at column index `lo2`.
+struct ArrayVal {
+  std::int64_t lo = 0;
+  std::vector<Value> elems;
+  std::int64_t lo2 = 0;
+  std::int64_t width = 0;  ///< 0 = one-dimensional
+
+  bool is2d() const { return width > 0; }
+  std::int64_t hi() const {
+    const std::int64_t rows =
+        is2d() ? static_cast<std::int64_t>(elems.size()) / width
+               : static_cast<std::int64_t>(elems.size());
+    return lo + rows - 1;
+  }
+  std::int64_t hi2() const { return lo2 + width - 1; }
+  const Value& at(std::int64_t i) const;
+  const Value& at2(std::int64_t i, std::int64_t j) const;
+};
+
+using ArrayMap = std::map<std::string, ArrayVal>;
+
+struct EvalResult {
+  ArrayMap blocks;  ///< every block's array, by name
+  ArrayVal result;  ///< the module's result array
+};
+
+/// Evaluates `m` (must be type-checked) on the given parameter arrays.
+/// Throws CompileError / ValueError on missing inputs or runtime faults.
+EvalResult evaluate(const Module& m, const ArrayMap& params);
+
+/// Evaluates a scalar expression in the given environments (exposed for unit
+/// tests of the evaluator itself).
+Value evalExpr(const ExprPtr& e, const std::map<std::string, Value>& scalars,
+               const ArrayMap& arrays);
+
+}  // namespace valpipe::val

@@ -1,0 +1,236 @@
+#include "val/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+
+namespace valpipe::val {
+
+const char* toString(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::KwFunction: return "'function'";
+    case Tok::KwReturns: return "'returns'";
+    case Tok::KwEndfun: return "'endfun'";
+    case Tok::KwLet: return "'let'";
+    case Tok::KwIn: return "'in'";
+    case Tok::KwEndlet: return "'endlet'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwThen: return "'then'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwEndif: return "'endif'";
+    case Tok::KwForall: return "'forall'";
+    case Tok::KwConstruct: return "'construct'";
+    case Tok::KwEndall: return "'endall'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwIter: return "'iter'";
+    case Tok::KwEnditer: return "'enditer'";
+    case Tok::KwEndfor: return "'endfor'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwArray: return "'array'";
+    case Tok::KwReal: return "'real'";
+    case Tok::KwInteger: return "'integer'";
+    case Tok::KwBoolean: return "'boolean'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semicolon: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Assign: return "':='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Eq: return "'='";
+    case Tok::Ne: return "'~='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::Amp: return "'&'";
+    case Tok::Bar: return "'|'";
+    case Tok::Tilde: return "'~'";
+    case Tok::EndOfFile: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string_view, Tok>& keywords() {
+  static const std::map<std::string_view, Tok> kw = {
+      {"function", Tok::KwFunction}, {"returns", Tok::KwReturns},
+      {"endfun", Tok::KwEndfun},     {"let", Tok::KwLet},
+      {"in", Tok::KwIn},             {"endlet", Tok::KwEndlet},
+      {"if", Tok::KwIf},             {"then", Tok::KwThen},
+      {"else", Tok::KwElse},         {"endif", Tok::KwEndif},
+      {"forall", Tok::KwForall},     {"construct", Tok::KwConstruct},
+      {"endall", Tok::KwEndall},     {"for", Tok::KwFor},
+      {"do", Tok::KwDo},             {"iter", Tok::KwIter},
+      {"enditer", Tok::KwEnditer},   {"endfor", Tok::KwEndfor},
+      {"const", Tok::KwConst},       {"array", Tok::KwArray},
+      {"real", Tok::KwReal},         {"integer", Tok::KwInteger},
+      {"boolean", Tok::KwBoolean},   {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, Diagnostics& diags) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto loc = [&] { return SourceLoc{line, col}; };
+  auto advance = [&](std::size_t k = 1) {
+    for (std::size_t j = 0; j < k && i < src.size(); ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto peek = [&](std::size_t k = 0) -> char {
+    return i + k < src.size() ? src[i + k] : '\0';
+  };
+  auto emit = [&](Tok kind, SourceLoc at, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.loc = at;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (c == '%') {  // comment to end of line
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    const SourceLoc at = loc();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                                peek() == '_'))
+        advance();
+      const std::string_view word = src.substr(start, i - start);
+      auto it = keywords().find(word);
+      emit(it != keywords().end() ? it->second : Tok::Ident, at,
+           std::string(word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t start = i;
+      bool isReal = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      if (peek() == '.') {
+        isReal = true;
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        // exponent requires at least one digit (sign optional)
+        std::size_t mark = i;
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+          isReal = true;
+          while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        } else {
+          i = mark;  // bare 'e' belongs to the next token
+        }
+      }
+      const std::string text(src.substr(start, i - start));
+      Token t;
+      t.loc = at;
+      t.text = text;
+      if (isReal) {
+        t.kind = Tok::RealLit;
+        t.realValue = std::stod(text);
+      } else {
+        t.kind = Tok::IntLit;
+        auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), t.intValue);
+        if (ec != std::errc{}) diags.error(at, "integer literal out of range");
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': emit(Tok::LParen, at); advance(); continue;
+      case ')': emit(Tok::RParen, at); advance(); continue;
+      case '[': emit(Tok::LBracket, at); advance(); continue;
+      case ']': emit(Tok::RBracket, at); advance(); continue;
+      case ',': emit(Tok::Comma, at); advance(); continue;
+      case ';': emit(Tok::Semicolon, at); advance(); continue;
+      case '+': emit(Tok::Plus, at); advance(); continue;
+      case '-': emit(Tok::Minus, at); advance(); continue;
+      case '*': emit(Tok::Star, at); advance(); continue;
+      case '/': emit(Tok::Slash, at); advance(); continue;
+      case '=': emit(Tok::Eq, at); advance(); continue;
+      case '&': emit(Tok::Amp, at); advance(); continue;
+      case '|': emit(Tok::Bar, at); advance(); continue;
+      case ':':
+        if (peek(1) == '=') {
+          emit(Tok::Assign, at);
+          advance(2);
+        } else {
+          emit(Tok::Colon, at);
+          advance();
+        }
+        continue;
+      case '<':
+        if (peek(1) == '=') {
+          emit(Tok::Le, at);
+          advance(2);
+        } else {
+          emit(Tok::Lt, at);
+          advance();
+        }
+        continue;
+      case '>':
+        if (peek(1) == '=') {
+          emit(Tok::Ge, at);
+          advance(2);
+        } else {
+          emit(Tok::Gt, at);
+          advance();
+        }
+        continue;
+      case '~':
+        if (peek(1) == '=') {
+          emit(Tok::Ne, at);
+          advance(2);
+        } else {
+          emit(Tok::Tilde, at);
+          advance();
+        }
+        continue;
+      default:
+        diags.error(at, std::string("unexpected character '") + c + "'");
+        advance();
+        continue;
+    }
+  }
+  emit(Tok::EndOfFile, loc());
+  return out;
+}
+
+}  // namespace valpipe::val

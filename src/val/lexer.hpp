@@ -1,0 +1,17 @@
+// Lexer for the Val subset.  `%` starts a comment running to end of line,
+// matching the paper's listings.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "val/token.hpp"
+
+namespace valpipe::val {
+
+/// Tokenizes `source`; lexical problems are reported into `diags` and the
+/// offending characters skipped.  Always ends with an EndOfFile token.
+std::vector<Token> lex(std::string_view source, Diagnostics& diags);
+
+}  // namespace valpipe::val

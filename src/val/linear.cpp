@@ -1,0 +1,212 @@
+#include "val/linear.hpp"
+
+#include "support/check.hpp"
+
+namespace valpipe::val {
+
+namespace {
+
+bool isIntLit(const ExprPtr& e, std::int64_t v) {
+  return e->kind == Expr::Kind::IntLit && e->intValue == v;
+}
+bool isZero(const ExprPtr& e) {
+  return isIntLit(e, 0) ||
+         (e->kind == Expr::Kind::RealLit && e->realValue == 0.0);
+}
+bool isOne(const ExprPtr& e) {
+  return isIntLit(e, 1) ||
+         (e->kind == Expr::Kind::RealLit && e->realValue == 1.0);
+}
+
+ExprPtr zero() { return Expr::mkInt(0); }
+ExprPtr one() { return Expr::mkInt(1); }
+
+ExprPtr mkAdd(const ExprPtr& a, const ExprPtr& b) {
+  if (isZero(a)) return b;
+  if (isZero(b)) return a;
+  return Expr::mkBinary(BinOp::Add, a, b);
+}
+ExprPtr mkSub(const ExprPtr& a, const ExprPtr& b) {
+  if (isZero(b)) return a;
+  if (isZero(a)) return Expr::mkUnary(UnOp::Neg, b);
+  return Expr::mkBinary(BinOp::Sub, a, b);
+}
+ExprPtr mkMul(const ExprPtr& a, const ExprPtr& b) {
+  if (isZero(a) || isZero(b)) return zero();
+  if (isOne(a)) return b;
+  if (isOne(b)) return a;
+  return Expr::mkBinary(BinOp::Mul, a, b);
+}
+ExprPtr mkDiv(const ExprPtr& a, const ExprPtr& b) {
+  if (isZero(a)) return zero();
+  if (isOne(b)) return a;
+  return Expr::mkBinary(BinOp::Div, a, b);
+}
+ExprPtr mkNeg(const ExprPtr& a) {
+  if (isZero(a)) return a;
+  return Expr::mkUnary(UnOp::Neg, a);
+}
+
+using Env = std::map<std::string, LinearForm>;
+
+/// `e` does not depend on accVar[i-1], directly or through let bindings in
+/// `env` (a binding is dependent when its alpha is non-zero).
+bool freeOfAcc(const ExprPtr& e, const std::string& accVar, const Env& env) {
+  if (!e) return true;
+  if (e->kind == Expr::Kind::ArrayIndex && e->name == accVar) return false;
+  if (e->kind == Expr::Kind::Ident) {
+    auto it = env.find(e->name);
+    if (it != env.end() && !isZero(it->second.alpha)) return false;
+    return true;
+  }
+  for (const ExprPtr& sub : {e->a, e->b, e->c, e->body})
+    if (!freeOfAcc(sub, accVar, env)) return false;
+  for (const Def& d : e->defs)
+    if (!freeOfAcc(d.value, accVar, env)) return false;
+  return true;
+}
+
+/// Inlines let-bound names so the produced alpha/beta are self-contained.
+ExprPtr inlineEnv(const ExprPtr& e, const Env& env) {
+  if (!e) return e;
+  switch (e->kind) {
+    case Expr::Kind::Ident: {
+      auto it = env.find(e->name);
+      if (it == env.end()) return e;
+      VALPIPE_CHECK_MSG(isZero(it->second.alpha),
+                        "inlining a T-dependent binding as X-free");
+      return it->second.beta;
+    }
+    case Expr::Kind::IntLit:
+    case Expr::Kind::RealLit:
+    case Expr::Kind::BoolLit:
+      return e;
+    case Expr::Kind::Unary:
+      return Expr::mkUnary(e->uop, inlineEnv(e->a, env), e->loc);
+    case Expr::Kind::Binary:
+      return Expr::mkBinary(e->bop, inlineEnv(e->a, env), inlineEnv(e->b, env),
+                            e->loc);
+    case Expr::Kind::If:
+      return Expr::mkIf(inlineEnv(e->a, env), inlineEnv(e->b, env),
+                        inlineEnv(e->c, env), e->loc);
+    case Expr::Kind::ArrayIndex:
+      return Expr::mkIndex(e->name, inlineEnv(e->a, env), e->loc);
+    case Expr::Kind::Let: {
+      Env inner = env;
+      for (const Def& d : e->defs)
+        inner[d.name] = {zero(), inlineEnv(d.value, inner)};
+      return inlineEnv(e->body, inner);
+    }
+  }
+  return e;
+}
+
+std::optional<LinearForm> decompose(const ExprPtr& e, const std::string& accVar,
+                                    const std::string& idxVar, const Env& env);
+
+std::optional<LinearForm> decomposeBinary(const ExprPtr& e,
+                                          const std::string& accVar,
+                                          const std::string& idxVar,
+                                          const Env& env) {
+  switch (e->bop) {
+    case BinOp::Add: {
+      auto a = decompose(e->a, accVar, idxVar, env);
+      auto b = decompose(e->b, accVar, idxVar, env);
+      if (!a || !b) return std::nullopt;
+      return LinearForm{mkAdd(a->alpha, b->alpha), mkAdd(a->beta, b->beta)};
+    }
+    case BinOp::Sub: {
+      auto a = decompose(e->a, accVar, idxVar, env);
+      auto b = decompose(e->b, accVar, idxVar, env);
+      if (!a || !b) return std::nullopt;
+      return LinearForm{mkSub(a->alpha, b->alpha), mkSub(a->beta, b->beta)};
+    }
+    case BinOp::Mul: {
+      if (freeOfAcc(e->a, accVar, env)) {
+        auto b = decompose(e->b, accVar, idxVar, env);
+        if (!b) return std::nullopt;
+        const ExprPtr k = inlineEnv(e->a, env);
+        return LinearForm{mkMul(k, b->alpha), mkMul(k, b->beta)};
+      }
+      if (freeOfAcc(e->b, accVar, env)) {
+        auto a = decompose(e->a, accVar, idxVar, env);
+        if (!a) return std::nullopt;
+        const ExprPtr k = inlineEnv(e->b, env);
+        return LinearForm{mkMul(a->alpha, k), mkMul(a->beta, k)};
+      }
+      return std::nullopt;  // product of two dependent factors: non-linear
+    }
+    case BinOp::Div: {
+      if (!freeOfAcc(e->b, accVar, env)) return std::nullopt;
+      auto a = decompose(e->a, accVar, idxVar, env);
+      if (!a) return std::nullopt;
+      const ExprPtr k = inlineEnv(e->b, env);
+      return LinearForm{mkDiv(a->alpha, k), mkDiv(a->beta, k)};
+    }
+    default:
+      // Relational / boolean results cannot be linear in a real recurrence
+      // unless they are independent of it (handled by the X-free fast path).
+      return std::nullopt;
+  }
+}
+
+std::optional<LinearForm> decompose(const ExprPtr& e, const std::string& accVar,
+                                    const std::string& idxVar, const Env& env) {
+  // Fast path: anything free of the previous element is pure beta.
+  if (freeOfAcc(e, accVar, env)) return LinearForm{zero(), inlineEnv(e, env)};
+
+  switch (e->kind) {
+    case Expr::Kind::ArrayIndex:
+      if (e->name == accVar) return LinearForm{one(), zero()};
+      return std::nullopt;  // dependent index inside another array: not PE
+    case Expr::Kind::Ident: {
+      auto it = env.find(e->name);
+      if (it == env.end()) return std::nullopt;
+      return it->second;
+    }
+    case Expr::Kind::Unary:
+      if (e->uop == UnOp::Neg) {
+        auto a = decompose(e->a, accVar, idxVar, env);
+        if (!a) return std::nullopt;
+        return LinearForm{mkNeg(a->alpha), mkNeg(a->beta)};
+      }
+      return std::nullopt;
+    case Expr::Kind::Binary:
+      return decomposeBinary(e, accVar, idxVar, env);
+    case Expr::Kind::If: {
+      if (!freeOfAcc(e->a, accVar, env)) return std::nullopt;
+      auto t = decompose(e->b, accVar, idxVar, env);
+      auto f = decompose(e->c, accVar, idxVar, env);
+      if (!t || !f) return std::nullopt;
+      const ExprPtr cond = inlineEnv(e->a, env);
+      return LinearForm{Expr::mkIf(cond, t->alpha, f->alpha),
+                        Expr::mkIf(cond, t->beta, f->beta)};
+    }
+    case Expr::Kind::Let: {
+      Env inner = env;
+      for (const Def& d : e->defs) {
+        auto v = decompose(d.value, accVar, idxVar, inner);
+        if (!v) return std::nullopt;
+        inner[d.name] = *v;
+      }
+      return decompose(e->body, accVar, idxVar, inner);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+ExprPtr bodyExpression(const ForIterBlock& fi) {
+  if (fi.defs.empty()) return fi.appendValue;
+  return Expr::mkLet(fi.defs, fi.appendValue, fi.loc);
+}
+
+std::optional<LinearForm> decomposeLinear(
+    const ExprPtr& e, const std::string& accVar, const std::string& idxVar,
+    const std::map<std::string, std::int64_t>&) {
+  return decompose(e, accVar, idxVar, {});
+}
+
+}  // namespace valpipe::val

@@ -1,0 +1,41 @@
+// Linearity analysis of first-order recurrences (§7).
+//
+// Given the body of a primitive for-iter block — which computes the appended
+// element from a_i (streams/index/constants) and the previous element
+// T[i-1] — decompose it symbolically as
+//
+//     x_i  =  alpha_i * x_{i-1} + beta_i
+//
+// where alpha and beta are expressions free of the loop array.  This is the
+// form whose recurrence function F((alpha,beta), x) = alpha*x + beta has the
+// companion function G(a, b) = (a(1)*b(1), a(1)*b(2) + a(2)) the paper's
+// companion-pipeline construction (Fig. 8) needs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "val/ast.hpp"
+
+namespace valpipe::val {
+
+struct LinearForm {
+  ExprPtr alpha;  ///< coefficient of T[i-1]
+  ExprPtr beta;   ///< additive part
+};
+
+/// The expression a for-iter body appends each cycle, with its let
+/// definitions wrapped back around it (so analysis sees P's definition in
+/// Example 2).
+ExprPtr bodyExpression(const ForIterBlock& fi);
+
+/// Decomposes `e` (the appended element) into alpha * accVar[i-1] + beta.
+/// Let-bound names are inlined; constant-folds trivial coefficients (0, 1).
+/// nullopt when `e` is not linear in the previous element (e.g. it multiplies
+/// two T[i-1]-dependent factors) — the paper's class with no known companion.
+std::optional<LinearForm> decomposeLinear(
+    const ExprPtr& e, const std::string& accVar, const std::string& idxVar,
+    const std::map<std::string, std::int64_t>& consts);
+
+}  // namespace valpipe::val

@@ -1,0 +1,516 @@
+#include "val/parser.hpp"
+
+#include <optional>
+
+#include "support/check.hpp"
+#include "val/lexer.hpp"
+
+namespace valpipe::val {
+
+namespace {
+
+/// Parse failure that aborts the current production; reported already.
+struct ParseAbort {};
+
+class Parser {
+ public:
+  Parser(std::string_view source, Diagnostics& diags)
+      : diags_(diags), tokens_(lex(source, diags)) {}
+
+  Module module() {
+    Module m;
+    m.loc = peek().loc;
+    try {
+      while (at(Tok::KwConst)) constDecl(m);
+      function(m);
+      expect(Tok::EndOfFile);
+    } catch (const ParseAbort&) {
+      // diagnostics already carry the reason
+    }
+    return m;
+  }
+
+  ExprPtr standaloneExpr() {
+    try {
+      ExprPtr e = expr();
+      expect(Tok::EndOfFile);
+      return e;
+    } catch (const ParseAbort&) {
+      return nullptr;
+    }
+  }
+
+ private:
+  Diagnostics& diags_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  const Token& peek(std::size_t k = 0) const {
+    const std::size_t i = std::min(pos_ + k, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool at(Tok k) const { return peek().kind == k; }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    diags_.error(peek().loc, msg);
+    throw ParseAbort{};
+  }
+  const Token& expect(Tok k) {
+    if (!at(k))
+      fail(std::string("expected ") + toString(k) + ", found " +
+           toString(peek().kind));
+    return advance();
+  }
+  std::string ident() { return expect(Tok::Ident).text; }
+
+  // --- manifest constant declarations ---
+
+  void constDecl(Module& m) {
+    expect(Tok::KwConst);
+    const Token& name = expect(Tok::Ident);
+    expect(Tok::Eq);
+    const std::int64_t v = constExpr(m);
+    accept(Tok::Semicolon);
+    if (m.consts.count(name.text))
+      diags_.error(name.loc, "duplicate constant '" + name.text + "'");
+    m.consts[name.text] = v;
+  }
+
+  /// Manifest integer expression: literals, previously declared constants,
+  /// + - * and parentheses, folded at parse time.
+  std::int64_t constExpr(const Module& m) { return constAdd(m); }
+
+  std::int64_t constAdd(const Module& m) {
+    std::int64_t v = constMul(m);
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      const bool plus = advance().kind == Tok::Plus;
+      const std::int64_t r = constMul(m);
+      v = plus ? v + r : v - r;
+    }
+    return v;
+  }
+
+  std::int64_t constMul(const Module& m) {
+    std::int64_t v = constPrimary(m);
+    while (at(Tok::Star)) {
+      advance();
+      v *= constPrimary(m);
+    }
+    return v;
+  }
+
+  std::int64_t constPrimary(const Module& m) {
+    if (at(Tok::Minus)) {
+      advance();
+      return -constPrimary(m);
+    }
+    if (at(Tok::IntLit)) return advance().intValue;
+    if (at(Tok::LParen)) {
+      advance();
+      const std::int64_t v = constAdd(m);
+      expect(Tok::RParen);
+      return v;
+    }
+    if (at(Tok::Ident)) {
+      const Token& t = advance();
+      auto it = m.consts.find(t.text);
+      if (it == m.consts.end()) {
+        diags_.error(t.loc, "'" + t.text + "' is not a manifest constant");
+        throw ParseAbort{};
+      }
+      return it->second;
+    }
+    fail("expected manifest integer expression");
+  }
+
+  // --- types ---
+
+  Scalar scalarType() {
+    if (accept(Tok::KwReal)) return Scalar::Real;
+    if (accept(Tok::KwInteger)) return Scalar::Integer;
+    if (accept(Tok::KwBoolean)) return Scalar::Boolean;
+    fail("expected scalar type");
+  }
+
+  Type type(const Module& m) {
+    if (at(Tok::KwArray)) {
+      advance();
+      expect(Tok::LBracket);
+      const Scalar elem = scalarType();
+      expect(Tok::RBracket);
+      std::optional<Range> range, range2;
+      if (at(Tok::LBracket)) {
+        advance();
+        const std::int64_t lo = constExpr(m);
+        expect(Tok::Comma);
+        const std::int64_t hi = constExpr(m);
+        expect(Tok::RBracket);
+        range = Range{lo, hi};
+        if (at(Tok::LBracket)) {  // second dimension (2-D arrays)
+          advance();
+          const std::int64_t lo2 = constExpr(m);
+          expect(Tok::Comma);
+          const std::int64_t hi2 = constExpr(m);
+          expect(Tok::RBracket);
+          range2 = Range{lo2, hi2};
+        }
+      }
+      return Type::array(elem, range, range2);
+    }
+    return {scalarType(), false, std::nullopt, std::nullopt};
+  }
+
+  // --- function / blocks ---
+
+  void function(Module& m) {
+    expect(Tok::KwFunction);
+    m.functionName = ident();
+    expect(Tok::LParen);
+    do {
+      std::vector<Token> names;
+      names.push_back(expect(Tok::Ident));
+      while (accept(Tok::Comma)) names.push_back(expect(Tok::Ident));
+      expect(Tok::Colon);
+      const Type t = type(m);
+      for (const Token& n : names) m.params.push_back({n.text, t, n.loc});
+    } while (accept(Tok::Semicolon) && !at(Tok::KwReturns));
+    expect(Tok::KwReturns);
+    m.returnType = type(m);
+    expect(Tok::RParen);
+
+    if (at(Tok::KwLet)) {
+      advance();
+      while (!at(Tok::KwIn)) {
+        m.blocks.push_back(blockDef(m));
+        accept(Tok::Semicolon);
+      }
+      expect(Tok::KwIn);
+      m.resultName = ident();
+      expect(Tok::KwEndlet);
+    } else {
+      // Single anonymous block named "result".
+      Block b;
+      b.name = "result";
+      b.type = m.returnType;
+      b.loc = peek().loc;
+      b.body = blockExpr(m);
+      m.blocks.push_back(std::move(b));
+      m.resultName = "result";
+    }
+    expect(Tok::KwEndfun);
+  }
+
+  Block blockDef(Module& m) {
+    Block b;
+    b.loc = peek().loc;
+    b.name = ident();
+    expect(Tok::Colon);
+    b.type = type(m);
+    expect(Tok::Assign);
+    b.body = blockExpr(m);
+    return b;
+  }
+
+  std::variant<ForallBlock, ForIterBlock> blockExpr(Module& m) {
+    if (at(Tok::KwForall)) return forallBlock(m);
+    if (at(Tok::KwFor)) return forIterBlock(m);
+    fail("expected 'forall' or 'for' block");
+  }
+
+  Def def(const Module& m) {
+    Def d;
+    d.loc = peek().loc;
+    d.name = ident();
+    if (accept(Tok::Colon)) d.declaredType = type(m);
+    expect(Tok::Assign);
+    d.value = expr();
+    return d;
+  }
+
+  ForallBlock forallBlock(Module& m) {
+    ForallBlock fb;
+    fb.loc = peek().loc;
+    expect(Tok::KwForall);
+    fb.indexVar = ident();
+    expect(Tok::KwIn);
+    expect(Tok::LBracket);
+    fb.lo = Expr::mkInt(constExpr(m), peek().loc);
+    expect(Tok::Comma);
+    fb.hi = Expr::mkInt(constExpr(m), peek().loc);
+    expect(Tok::RBracket);
+    if (accept(Tok::Comma)) {  // forall i in [..], j in [..]  (2-D, §9)
+      fb.indexVar2 = ident();
+      expect(Tok::KwIn);
+      expect(Tok::LBracket);
+      fb.lo2 = Expr::mkInt(constExpr(m), peek().loc);
+      expect(Tok::Comma);
+      fb.hi2 = Expr::mkInt(constExpr(m), peek().loc);
+      expect(Tok::RBracket);
+      if (fb.indexVar2 == fb.indexVar)
+        diags_.error(fb.loc, "the two forall index variables must differ");
+    }
+    while (!at(Tok::KwConstruct)) {
+      fb.defs.push_back(def(m));
+      accept(Tok::Semicolon);
+    }
+    expect(Tok::KwConstruct);
+    fb.accum = expr();
+    expect(Tok::KwEndall);
+    return fb;
+  }
+
+  ForIterBlock forIterBlock(Module& m) {
+    ForIterBlock fi;
+    fi.loc = peek().loc;
+    expect(Tok::KwFor);
+
+    // i : integer := p ;
+    fi.indexVar = ident();
+    expect(Tok::Colon);
+    if (!accept(Tok::KwInteger)) fail("for-iter index variable must be integer");
+    expect(Tok::Assign);
+    fi.indexInit = Expr::mkInt(constExpr(m), peek().loc);
+    expect(Tok::Semicolon);
+
+    // T : array[...] := [ r : init ]
+    fi.accVar = ident();
+    expect(Tok::Colon);
+    const Type accType = type(m);
+    if (!accType.isArray)
+      diags_.error(fi.loc, "for-iter accumulator must be an array");
+    if (accType.range2)
+      diags_.error(fi.loc, "for-iter builds one-dimensional arrays "
+                           "(recurrence over a single index)");
+    expect(Tok::Assign);
+    expect(Tok::LBracket);
+    fi.accInitIndex = Expr::mkInt(constExpr(m), peek().loc);
+    expect(Tok::Colon);
+    fi.accInitValue = expr();
+    expect(Tok::RBracket);
+    accept(Tok::Semicolon);
+
+    expect(Tok::KwDo);
+    const bool hasLet = accept(Tok::KwLet);
+    if (hasLet) {
+      while (!at(Tok::KwIn)) {
+        fi.defs.push_back(def(m));
+        accept(Tok::Semicolon);
+      }
+      expect(Tok::KwIn);
+    }
+
+    // if cond then iter ... enditer else T endif
+    expect(Tok::KwIf);
+    fi.cond = expr();
+    expect(Tok::KwThen);
+    expect(Tok::KwIter);
+    bool sawAppend = false, sawStep = false;
+    for (int k = 0; k < 2; ++k) {
+      const Token& target = expect(Tok::Ident);
+      expect(Tok::Assign);
+      if (target.text == fi.accVar) {
+        // T := T [ idx : value ]
+        const Token& base = expect(Tok::Ident);
+        if (base.text != fi.accVar)
+          diags_.error(base.loc, "append must extend the loop array '" +
+                                     fi.accVar + "'");
+        expect(Tok::LBracket);
+        ExprPtr idx = expr();
+        if (!(idx->kind == Expr::Kind::Ident && idx->name == fi.indexVar))
+          diags_.error(idx->loc, "append index must be the loop index '" +
+                                     fi.indexVar + "'");
+        expect(Tok::Colon);
+        fi.appendValue = expr();
+        expect(Tok::RBracket);
+        sawAppend = true;
+      } else if (target.text == fi.indexVar) {
+        // i := i + 1
+        ExprPtr step = expr();
+        const bool ok = step->kind == Expr::Kind::Binary &&
+                        step->bop == BinOp::Add &&
+                        step->a->kind == Expr::Kind::Ident &&
+                        step->a->name == fi.indexVar &&
+                        step->b->kind == Expr::Kind::IntLit &&
+                        step->b->intValue == 1;
+        if (!ok)
+          diags_.error(target.loc,
+                       "for-iter index must advance as '" + fi.indexVar +
+                           " := " + fi.indexVar + " + 1'");
+        sawStep = true;
+      } else {
+        diags_.error(target.loc, "iter arm may only rebind '" + fi.accVar +
+                                     "' and '" + fi.indexVar + "'");
+        throw ParseAbort{};
+      }
+      accept(Tok::Semicolon);
+    }
+    if (!sawAppend || !sawStep)
+      diags_.error(fi.loc, "iter arm must rebind both loop variables");
+    expect(Tok::KwEnditer);
+    expect(Tok::KwElse);
+    const Token& res = expect(Tok::Ident);
+    if (res.text != fi.accVar)
+      diags_.error(res.loc,
+                   "for-iter result must be the loop array '" + fi.accVar + "'");
+    expect(Tok::KwEndif);
+    if (hasLet) expect(Tok::KwEndlet);
+    expect(Tok::KwEndfor);
+    return fi;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  ExprPtr expr() { return orExpr(); }
+
+  ExprPtr orExpr() {
+    ExprPtr e = andExpr();
+    while (at(Tok::Bar)) {
+      const SourceLoc loc = advance().loc;
+      e = Expr::mkBinary(BinOp::Or, e, andExpr(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr andExpr() {
+    ExprPtr e = relExpr();
+    while (at(Tok::Amp)) {
+      const SourceLoc loc = advance().loc;
+      e = Expr::mkBinary(BinOp::And, e, relExpr(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr relExpr() {
+    ExprPtr e = addExpr();
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::Eq: op = BinOp::Eq; break;
+      case Tok::Ne: op = BinOp::Ne; break;
+      case Tok::Lt: op = BinOp::Lt; break;
+      case Tok::Le: op = BinOp::Le; break;
+      case Tok::Gt: op = BinOp::Gt; break;
+      case Tok::Ge: op = BinOp::Ge; break;
+      default: return e;
+    }
+    const SourceLoc loc = advance().loc;
+    return Expr::mkBinary(op, e, addExpr(), loc);
+  }
+
+  ExprPtr addExpr() {
+    ExprPtr e = mulExpr();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      const Token& t = advance();
+      e = Expr::mkBinary(t.kind == Tok::Plus ? BinOp::Add : BinOp::Sub, e,
+                         mulExpr(), t.loc);
+    }
+    return e;
+  }
+
+  ExprPtr mulExpr() {
+    ExprPtr e = unary();
+    while (at(Tok::Star) || at(Tok::Slash)) {
+      const Token& t = advance();
+      e = Expr::mkBinary(t.kind == Tok::Star ? BinOp::Mul : BinOp::Div, e,
+                         unary(), t.loc);
+    }
+    return e;
+  }
+
+  ExprPtr unary() {
+    if (at(Tok::Minus)) {
+      const SourceLoc loc = advance().loc;
+      return Expr::mkUnary(UnOp::Neg, unary(), loc);
+    }
+    if (at(Tok::Tilde)) {
+      const SourceLoc loc = advance().loc;
+      return Expr::mkUnary(UnOp::Not, unary(), loc);
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr e = primary();
+    while (at(Tok::LBracket)) {
+      const SourceLoc loc = advance().loc;
+      ExprPtr idx = expr();
+      ExprPtr idx2;
+      if (accept(Tok::Comma)) idx2 = expr();  // A[i, j]
+      expect(Tok::RBracket);
+      if (e->kind != Expr::Kind::Ident)
+        fail("only named arrays may be indexed");
+      e = idx2 ? Expr::mkIndex2(e->name, idx, idx2, loc)
+               : Expr::mkIndex(e->name, idx, loc);
+    }
+    return e;
+  }
+
+  ExprPtr primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::IntLit: advance(); return Expr::mkInt(t.intValue, t.loc);
+      case Tok::RealLit: advance(); return Expr::mkReal(t.realValue, t.loc);
+      case Tok::KwTrue: advance(); return Expr::mkBool(true, t.loc);
+      case Tok::KwFalse: advance(); return Expr::mkBool(false, t.loc);
+      case Tok::Ident: advance(); return Expr::mkIdent(t.text, t.loc);
+      case Tok::LParen: {
+        advance();
+        ExprPtr e = expr();
+        expect(Tok::RParen);
+        return e;
+      }
+      case Tok::KwIf: {
+        advance();
+        ExprPtr cond = expr();
+        expect(Tok::KwThen);
+        ExprPtr thenE = expr();
+        expect(Tok::KwElse);
+        ExprPtr elseE = expr();
+        expect(Tok::KwEndif);
+        return Expr::mkIf(cond, thenE, elseE, t.loc);
+      }
+      case Tok::KwLet: {
+        advance();
+        std::vector<Def> defs;
+        // Inner lets don't see module constants in their types; pass an
+        // empty module for type range expressions (scalar defs dominate).
+        Module empty;
+        while (!at(Tok::KwIn)) {
+          defs.push_back(def(empty));
+          accept(Tok::Semicolon);
+        }
+        expect(Tok::KwIn);
+        ExprPtr body = expr();
+        expect(Tok::KwEndlet);
+        return Expr::mkLet(std::move(defs), body, t.loc);
+      }
+      default:
+        fail(std::string("expected expression, found ") + toString(t.kind));
+    }
+  }
+};
+
+}  // namespace
+
+Module parseModule(std::string_view source, Diagnostics& diags) {
+  Parser p(source, diags);
+  return p.module();
+}
+
+Module parseModuleOrThrow(std::string_view source) {
+  Diagnostics diags;
+  Module m = parseModule(source, diags);
+  if (diags.hasErrors()) throw CompileError(diags.str());
+  return m;
+}
+
+ExprPtr parseExpression(std::string_view source, Diagnostics& diags) {
+  Parser p(source, diags);
+  return p.standaloneExpr();
+}
+
+}  // namespace valpipe::val

@@ -1,0 +1,47 @@
+// Recursive-descent parser for the pipe-structured Val subset.
+//
+// Grammar (comments start with '%'):
+//
+//   module     := { 'const' IDENT '=' constExpr [';'] } function
+//   function   := 'function' IDENT '(' params 'returns' type ')' body 'endfun'
+//   params     := group { ';' group } ;  group := IDENT {',' IDENT} ':' type
+//   type       := scalar | 'array' '[' scalar ']' [ '[' constExpr ',' constExpr ']' ]
+//   body       := 'let' blockDef { [';'] blockDef } 'in' IDENT 'endlet'
+//               | blockExpr                      % single anonymous block
+//   blockDef   := IDENT ':' type ':=' blockExpr
+//   blockExpr  := forall | foriter
+//   forall     := 'forall' IDENT 'in' '[' constExpr ',' constExpr ']'
+//                 { def [';'] } 'construct' expr 'endall'
+//   foriter    := 'for' IDENT ':' 'integer' ':=' constExpr ';'
+//                 IDENT ':' type ':=' '[' constExpr ':' expr ']'
+//                 'do' [ 'let' { def [';'] } 'in' ] ifIter [ 'endlet' ] 'endfor'
+//   ifIter     := 'if' expr 'then' 'iter' iterArm 'enditer' 'else' IDENT 'endif'
+//   iterArm    := two assignments in either order, separated by [';']:
+//                 T ':=' T '[' expr ':' expr ']'   and   i ':=' i '+' 1
+//   def        := IDENT ':' type ':=' expr
+//   expr       := precedence-climbing over | & (rel) (+ -) (* /) with unary
+//                 - ~, primaries: literals, idents, A '[' expr ']',
+//                 '(' expr ')', if-then-else-endif, let-in-endlet
+//
+// Manifest constants (`const m = 100`) may be used wherever constExpr
+// appears and inside expressions as ordinary identifiers.
+#pragma once
+
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+#include "val/ast.hpp"
+
+namespace valpipe::val {
+
+/// Parses a module; on any error, diagnostics are recorded and the partial
+/// module returned (callers must check diags.hasErrors()).
+Module parseModule(std::string_view source, Diagnostics& diags);
+
+/// Parses a module and throws CompileError on any diagnostic error.
+Module parseModuleOrThrow(std::string_view source);
+
+/// Parses a standalone expression (testing / tooling convenience).
+ExprPtr parseExpression(std::string_view source, Diagnostics& diags);
+
+}  // namespace valpipe::val

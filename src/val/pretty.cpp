@@ -1,0 +1,121 @@
+#include "val/pretty.hpp"
+
+#include <sstream>
+
+namespace valpipe::val {
+
+namespace {
+
+void printExpr(std::ostream& os, const ExprPtr& e) {
+  if (!e) {
+    os << "<null>";
+    return;
+  }
+  switch (e->kind) {
+    case Expr::Kind::IntLit: os << e->intValue; return;
+    case Expr::Kind::RealLit: os << e->realValue; return;
+    case Expr::Kind::BoolLit: os << (e->boolValue ? "true" : "false"); return;
+    case Expr::Kind::Ident: os << e->name; return;
+    case Expr::Kind::Unary:
+      os << toString(e->uop);
+      printExpr(os, e->a);
+      return;
+    case Expr::Kind::Binary:
+      os << '(';
+      printExpr(os, e->a);
+      os << ' ' << toString(e->bop) << ' ';
+      printExpr(os, e->b);
+      os << ')';
+      return;
+    case Expr::Kind::If:
+      os << "if ";
+      printExpr(os, e->a);
+      os << " then ";
+      printExpr(os, e->b);
+      os << " else ";
+      printExpr(os, e->c);
+      os << " endif";
+      return;
+    case Expr::Kind::Let:
+      os << "let ";
+      for (std::size_t i = 0; i < e->defs.size(); ++i) {
+        if (i) os << "; ";
+        os << e->defs[i].name << " := ";
+        printExpr(os, e->defs[i].value);
+      }
+      os << " in ";
+      printExpr(os, e->body);
+      os << " endlet";
+      return;
+    case Expr::Kind::ArrayIndex:
+      os << e->name << '[';
+      printExpr(os, e->a);
+      if (e->isIndex2()) {
+        os << ", ";
+        printExpr(os, e->b);
+      }
+      os << ']';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string toString(const ExprPtr& e) {
+  std::ostringstream os;
+  printExpr(os, e);
+  return os.str();
+}
+
+std::string toString(const Block& b) {
+  std::ostringstream os;
+  os << b.name << " : " << b.type.str() << " := ";
+  if (b.isForall()) {
+    const ForallBlock& fb = b.forall();
+    os << "forall " << fb.indexVar << " in [" << toString(fb.lo) << ", "
+       << toString(fb.hi) << "]";
+    if (fb.is2d())
+      os << ", " << fb.indexVar2 << " in [" << toString(fb.lo2) << ", "
+         << toString(fb.hi2) << "]";
+    os << ' ';
+    for (const Def& d : fb.defs)
+      os << d.name << " := " << toString(d.value) << "; ";
+    os << "construct " << toString(fb.accum) << " endall";
+  } else {
+    const ForIterBlock& fi = b.forIter();
+    os << "for " << fi.indexVar << " : integer := " << toString(fi.indexInit)
+       << "; " << fi.accVar << " : array[" << ::valpipe::val::toString(
+           b.type.scalar) << "] := [" << toString(fi.accInitIndex) << ": "
+       << toString(fi.accInitValue) << "] do ";
+    if (!fi.defs.empty()) {
+      os << "let ";
+      for (const Def& d : fi.defs)
+        os << d.name << " := " << toString(d.value) << "; ";
+      os << "in ";
+    }
+    os << "if " << toString(fi.cond) << " then iter " << fi.accVar << " := "
+       << fi.accVar << "[" << fi.indexVar << ": " << toString(fi.appendValue)
+       << "]; " << fi.indexVar << " := " << fi.indexVar
+       << " + 1 enditer else " << fi.accVar << " endif";
+    if (!fi.defs.empty()) os << " endlet";
+    os << " endfor";
+  }
+  return os.str();
+}
+
+std::string toString(const Module& m) {
+  std::ostringstream os;
+  for (const auto& [name, v] : m.consts) os << "const " << name << " = " << v << '\n';
+  os << "function " << m.functionName << "(";
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    if (i) os << "; ";
+    os << m.params[i].name << ": " << m.params[i].type.str();
+  }
+  os << " returns " << m.returnType.str() << ")\n";
+  os << "let\n";
+  for (const Block& b : m.blocks) os << "  " << toString(b) << '\n';
+  os << "in " << m.resultName << " endlet\nendfun\n";
+  return os.str();
+}
+
+}  // namespace valpipe::val

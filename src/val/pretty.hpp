@@ -1,0 +1,14 @@
+// Pretty-printer for the Val AST (diagnostics, DOT labels, tests).
+#pragma once
+
+#include <string>
+
+#include "val/ast.hpp"
+
+namespace valpipe::val {
+
+std::string toString(const ExprPtr& e);
+std::string toString(const Block& b);
+std::string toString(const Module& m);
+
+}  // namespace valpipe::val

@@ -1,0 +1,77 @@
+// Tokens of the Val subset (Ackerman & Dennis [1]) accepted by valpipe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace valpipe::val {
+
+enum class Tok {
+  // literals / identifiers
+  Ident,
+  IntLit,
+  RealLit,
+  // keywords
+  KwFunction,
+  KwReturns,
+  KwEndfun,
+  KwLet,
+  KwIn,
+  KwEndlet,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwEndif,
+  KwForall,
+  KwConstruct,
+  KwEndall,
+  KwFor,
+  KwDo,
+  KwIter,
+  KwEnditer,
+  KwEndfor,
+  KwConst,
+  KwArray,
+  KwReal,
+  KwInteger,
+  KwBoolean,
+  KwTrue,
+  KwFalse,
+  // punctuation / operators
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Assign,    // :=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Eq,        // =
+  Ne,        // ~=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Amp,       // &
+  Bar,       // |
+  Tilde,     // ~
+  EndOfFile,
+};
+
+const char* toString(Tok t);
+
+struct Token {
+  Tok kind = Tok::EndOfFile;
+  std::string text;            ///< source spelling (identifiers, numbers)
+  std::int64_t intValue = 0;   ///< IntLit
+  double realValue = 0.0;      ///< RealLit
+  SourceLoc loc;
+};
+
+}  // namespace valpipe::val

@@ -1,0 +1,519 @@
+#include "val/typecheck.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "val/constfold.hpp"
+
+namespace valpipe::val {
+
+namespace {
+
+/// Scope context while checking expressions inside a block body.  `active`
+/// marks which index values can reach the current expression: conditionals
+/// whose test depends only on the index variable(s) narrow it — exactly the
+/// knowledge the compiler turns into element-selection control sequences, so
+/// Example 1's boundary-guarded C[i-1] checks cleanly.  For 2-D blocks the
+/// active set is flattened row-major (indexVar slow, indexVar2 fast).
+struct IndexCtx {
+  std::string indexVar;
+  Range indexRange;           ///< values the (row) index variable sweeps over
+  std::string indexVar2;      ///< column variable; empty for 1-D blocks
+  Range indexRange2{0, 0};
+  std::vector<bool> active;   ///< flattened, row-major
+
+  bool is2d() const { return !indexVar2.empty(); }
+  std::int64_t width() const { return is2d() ? indexRange2.length() : 1; }
+  std::int64_t flatSize() const { return indexRange.length() * width(); }
+
+  static IndexCtx full(std::string var, Range range) {
+    IndexCtx ctx;
+    ctx.indexVar = std::move(var);
+    ctx.indexRange = range;
+    ctx.active.assign(static_cast<std::size_t>(range.length()), true);
+    return ctx;
+  }
+
+  static IndexCtx full2(std::string var, Range range, std::string var2,
+                        Range range2) {
+    IndexCtx ctx;
+    ctx.indexVar = std::move(var);
+    ctx.indexRange = range;
+    ctx.indexVar2 = std::move(var2);
+    ctx.indexRange2 = range2;
+    ctx.active.assign(static_cast<std::size_t>(ctx.flatSize()), true);
+    return ctx;
+  }
+
+  /// Row/column values for a flattened active-set position.
+  std::pair<std::int64_t, std::int64_t> at(std::size_t k) const {
+    const std::int64_t w = width();
+    return {indexRange.lo + static_cast<std::int64_t>(k) / w,
+            indexRange2.lo + static_cast<std::int64_t>(k) % w};
+  }
+};
+
+class Checker {
+ public:
+  Checker(Module& m, Diagnostics& diags) : m_(m), diags_(diags) {}
+
+  TypeInfo run() {
+    checkParams();
+    std::set<std::string> known;
+    for (const Param& p : m_.params) known.insert(p.name);
+
+    for (Block& b : m_.blocks) {
+      if (known.count(b.name))
+        error(b.loc, "'" + b.name + "' is already defined");
+      checkBlock(b);
+      known.insert(b.name);
+      arrays_[b.name] = b.type;
+    }
+
+    const Block* result = m_.findBlock(m_.resultName);
+    if (result == nullptr)
+      error(m_.loc, "result '" + m_.resultName + "' does not name a block");
+    else if (!result->type.sameAs(m_.returnType))
+      error(result->loc, "result type " + result->type.str() +
+                             " does not match declared return type " +
+                             m_.returnType.str());
+    return std::move(info_);
+  }
+
+ private:
+  Module& m_;
+  Diagnostics& diags_;
+  TypeInfo info_;
+  std::map<std::string, Type> arrays_;   ///< params + completed blocks
+
+  void error(SourceLoc loc, const std::string& msg) { diags_.error(loc, msg); }
+
+  void checkParams() {
+    std::set<std::string> seen;
+    for (const Param& p : m_.params) {
+      if (!seen.insert(p.name).second)
+        error(p.loc, "duplicate parameter '" + p.name + "'");
+      if (m_.consts.count(p.name))
+        error(p.loc, "parameter '" + p.name + "' shadows a constant");
+      if (p.type.isArray) {
+        if (!p.type.range)
+          error(p.loc, "array parameter '" + p.name +
+                           "' needs a manifest index range");
+        arrays_[p.name] = p.type;
+      }
+    }
+  }
+
+  // --- scalar environment (consts, params, index vars, let defs) ---
+
+  using Scope = std::map<std::string, Type>;
+
+  std::optional<Type> lookupScalar(const std::vector<Scope>& scopes,
+                                   const std::string& name) const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return f->second;
+    }
+    if (m_.consts.count(name)) return Type::integer();
+    for (const Param& p : m_.params)
+      if (p.name == name && p.type.isScalar()) return p.type;
+    return std::nullopt;
+  }
+
+  bool isNumeric(const Type& t) const {
+    return t.isScalar() && t.scalar != Scalar::Boolean;
+  }
+
+  /// Common type of two scalars under Val's integer->real widening.
+  std::optional<Type> unify(const Type& a, const Type& b) const {
+    if (!a.isScalar() || !b.isScalar()) return std::nullopt;
+    if (a.scalar == b.scalar) return a;
+    if (isNumeric(a) && isNumeric(b)) return Type::real();
+    return std::nullopt;
+  }
+
+  bool assignable(const Type& from, const Type& to) const {
+    if (from.sameAs(to)) return true;
+    return from.isScalar() && to.isScalar() && from.scalar == Scalar::Integer &&
+           to.scalar == Scalar::Real;
+  }
+
+  Type record(const ExprPtr& e, Type t) {
+    info_.exprTypes[e.get()] = t;
+    return t;
+  }
+
+  /// Array-access index form `v + c` (or `v`, `v - c`) for the given index
+  /// variable; returns the manifest offset c.
+  std::optional<std::int64_t> indexOffset(const ExprPtr& idx,
+                                          const std::string& var) const {
+    auto isIdxVar = [&](const ExprPtr& e) {
+      return e->kind == Expr::Kind::Ident && e->name == var;
+    };
+    if (isIdxVar(idx)) return 0;
+    if (idx->kind != Expr::Kind::Binary) return std::nullopt;
+    if (idx->bop == BinOp::Add) {
+      if (isIdxVar(idx->a)) return constEvalInt(idx->b, m_.consts);
+      if (isIdxVar(idx->b)) return constEvalInt(idx->a, m_.consts);
+      return std::nullopt;
+    }
+    if (idx->bop == BinOp::Sub && isIdxVar(idx->a)) {
+      auto c = constEvalInt(idx->b, m_.consts);
+      if (!c) return std::nullopt;
+      return -*c;
+    }
+    return std::nullopt;
+  }
+
+  Type checkExpr(const ExprPtr& e, std::vector<Scope>& scopes,
+                 const IndexCtx* ctx) {
+    switch (e->kind) {
+      case Expr::Kind::IntLit: return record(e, Type::integer());
+      case Expr::Kind::RealLit: return record(e, Type::real());
+      case Expr::Kind::BoolLit: return record(e, Type::boolean());
+      case Expr::Kind::Ident: {
+        auto t = lookupScalar(scopes, e->name);
+        if (t) return record(e, *t);
+        if (arrays_.count(e->name))
+          error(e->loc, "array '" + e->name +
+                            "' used as a scalar (index it with [...])");
+        else
+          error(e->loc, "undefined name '" + e->name + "'");
+        return record(e, Type::real());
+      }
+      case Expr::Kind::Unary: {
+        const Type a = checkExpr(e->a, scopes, ctx);
+        if (e->uop == UnOp::Neg) {
+          if (!isNumeric(a)) error(e->loc, "operand of '-' must be numeric");
+          return record(e, a);
+        }
+        if (!(a.isScalar() && a.scalar == Scalar::Boolean))
+          error(e->loc, "operand of '~' must be boolean");
+        return record(e, Type::boolean());
+      }
+      case Expr::Kind::Binary: {
+        const Type a = checkExpr(e->a, scopes, ctx);
+        const Type b = checkExpr(e->b, scopes, ctx);
+        switch (e->bop) {
+          case BinOp::Add:
+          case BinOp::Sub:
+          case BinOp::Mul:
+          case BinOp::Div: {
+            if (!isNumeric(a) || !isNumeric(b)) {
+              error(e->loc, std::string("operands of '") + toString(e->bop) +
+                                "' must be numeric");
+              return record(e, Type::real());
+            }
+            return record(e, *unify(a, b));
+          }
+          case BinOp::Lt:
+          case BinOp::Le:
+          case BinOp::Gt:
+          case BinOp::Ge:
+            if (!isNumeric(a) || !isNumeric(b))
+              error(e->loc, std::string("operands of '") + toString(e->bop) +
+                                "' must be numeric");
+            return record(e, Type::boolean());
+          case BinOp::Eq:
+          case BinOp::Ne:
+            if (!unify(a, b))
+              error(e->loc, "operands of equality must have a common type");
+            return record(e, Type::boolean());
+          case BinOp::And:
+          case BinOp::Or:
+            if (a.scalar != Scalar::Boolean || b.scalar != Scalar::Boolean ||
+                !a.isScalar() || !b.isScalar())
+              error(e->loc, std::string("operands of '") + toString(e->bop) +
+                                "' must be boolean");
+            return record(e, Type::boolean());
+        }
+        VALPIPE_UNREACHABLE("binop");
+      }
+      case Expr::Kind::If: {
+        const Type c = checkExpr(e->a, scopes, ctx);
+        if (!(c.isScalar() && c.scalar == Scalar::Boolean))
+          error(e->a->loc, "condition must be boolean");
+        // Index-only conditions narrow the active set per arm.
+        std::optional<std::vector<Value>> sel;
+        if (ctx != nullptr)
+          sel = ctx->is2d()
+                    ? evalOverIndex2(e->a, ctx->indexVar, ctx->indexRange,
+                                     ctx->indexVar2, ctx->indexRange2,
+                                     m_.consts)
+                    : evalOverIndex(e->a, ctx->indexVar, ctx->indexRange,
+                                    m_.consts);
+        if (sel) {
+          IndexCtx thenCtx = *ctx;
+          IndexCtx elseCtx = *ctx;
+          for (std::size_t k = 0; k < sel->size(); ++k) {
+            const bool taken = (*sel)[k].isBoolean() && (*sel)[k].asBoolean();
+            thenCtx.active[k] = thenCtx.active[k] && taken;
+            elseCtx.active[k] = elseCtx.active[k] && !taken;
+          }
+          const Type t = checkExpr(e->b, scopes, &thenCtx);
+          const Type f = checkExpr(e->c, scopes, &elseCtx);
+          auto u2 = unify(t, f);
+          if (!u2) {
+            error(e->loc, "conditional arms have incompatible types " +
+                              t.str() + " and " + f.str());
+            return record(e, t);
+          }
+          return record(e, *u2);
+        }
+        const Type t = checkExpr(e->b, scopes, ctx);
+        const Type f = checkExpr(e->c, scopes, ctx);
+        auto u = unify(t, f);
+        if (!u) {
+          error(e->loc, "conditional arms have incompatible types " + t.str() +
+                            " and " + f.str());
+          return record(e, t);
+        }
+        return record(e, *u);
+      }
+      case Expr::Kind::Let: {
+        scopes.emplace_back();
+        for (const Def& d : e->defs) checkDef(d, scopes, ctx);
+        const Type t = checkExpr(e->body, scopes, ctx);
+        scopes.pop_back();
+        return record(e, t);
+      }
+      case Expr::Kind::ArrayIndex: {
+        auto it = arrays_.find(e->name);
+        if (it == arrays_.end()) {
+          error(e->loc, "'" + e->name + "' is not a known array");
+          return record(e, Type::real());
+        }
+        const Type idxT = checkExpr(e->a, scopes, ctx);
+        if (!(idxT.isScalar() && idxT.scalar == Scalar::Integer))
+          error(e->a->loc, "array index must be an integer expression");
+        if (e->isIndex2()) {
+          const Type idx2T = checkExpr(e->b, scopes, ctx);
+          if (!(idx2T.isScalar() && idx2T.scalar == Scalar::Integer))
+            error(e->b->loc, "array index must be an integer expression");
+        }
+        if (it->second.is2d() != e->isIndex2()) {
+          error(e->loc, std::string("'") + e->name + "' is " +
+                            (it->second.is2d() ? "two" : "one") +
+                            "-dimensional; use " +
+                            (it->second.is2d() ? "A[i, j]" : "A[i]") +
+                            " selection");
+          return record(e, it->second.element());
+        }
+        if (ctx == nullptr) {
+          error(e->loc, "array element access is only allowed inside a block "
+                        "body (primitive expressions on the index variable)");
+        } else if (e->isIndex2()) {
+          checkAccess2d(e, it->second, *ctx);
+        } else {
+          checkAccess1d(e, it->second, *ctx);
+        }
+        return record(e, it->second.element());
+      }
+    }
+    VALPIPE_UNREACHABLE("expr kind");
+  }
+
+  void checkAccess1d(const ExprPtr& e, const Type& arr, const IndexCtx& ctx) {
+    // Inside a 2-D forall a 1-D array may be selected by the row variable
+    // (A[i + c]); the compiler replicates each packet across the row with a
+    // hold loop.  Column-varying selection of a 1-D array is not meaningful.
+    auto off = indexOffset(e->a, ctx.indexVar);
+    if (ctx.is2d() && !off) {
+      error(e->a->loc, "1-D array '" + e->name +
+                           "' inside a 2-D forall must be selected by the row "
+                           "variable (" + ctx.indexVar + " + c)");
+      return;
+    }
+    if (!off) {
+      error(e->a->loc, "array index must have the form " + ctx.indexVar +
+                           " + c with manifest c (paper rule 4)");
+      return;
+    }
+    if (!arr.range) return;
+    // Only index values that can reach this access matter.
+    for (std::size_t k = 0; k < ctx.active.size(); ++k) {
+      if (!ctx.active[k]) continue;
+      const std::int64_t i = ctx.at(k).first;
+      if (!arr.range->contains(i + *off)) {
+        std::ostringstream os;
+        os << "access " << e->name << '[' << ctx.indexVar;
+        if (*off != 0) os << (*off > 0 ? "+" : "") << *off;
+        os << "] reads index " << (i + *off) << " (at " << ctx.indexVar
+           << " = " << i << ") outside " << e->name << "'s range "
+           << arr.range->str();
+        error(e->loc, os.str());
+        return;
+      }
+    }
+  }
+
+  void checkAccess2d(const ExprPtr& e, const Type& arr, const IndexCtx& ctx) {
+    if (!ctx.is2d()) {
+      error(e->loc, "two-dimensional selection outside a 2-D forall");
+      return;
+    }
+    auto c1 = indexOffset(e->a, ctx.indexVar);
+    auto c2 = indexOffset(e->b, ctx.indexVar2);
+    if (!c1 || !c2) {
+      error(e->loc, "2-D array selection must have the form " + e->name +
+                        "[" + ctx.indexVar + " + c1, " + ctx.indexVar2 +
+                        " + c2] with manifest offsets");
+      return;
+    }
+    if (!arr.range || !arr.range2) return;
+    for (std::size_t k = 0; k < ctx.active.size(); ++k) {
+      if (!ctx.active[k]) continue;
+      const auto [i, j] = ctx.at(k);
+      if (!arr.range->contains(i + *c1) || !arr.range2->contains(j + *c2)) {
+        std::ostringstream os;
+        os << "access " << e->name << "[" << ctx.indexVar;
+        if (*c1) os << (*c1 > 0 ? "+" : "") << *c1;
+        os << ", " << ctx.indexVar2;
+        if (*c2) os << (*c2 > 0 ? "+" : "") << *c2;
+        os << "] reads (" << (i + *c1) << ", " << (j + *c2) << ") at ("
+           << i << ", " << j << ") outside " << e->name << "'s ranges "
+           << arr.range->str() << arr.range2->str();
+        error(e->loc, os.str());
+        return;
+      }
+    }
+  }
+
+  void checkDef(const Def& d, std::vector<Scope>& scopes, const IndexCtx* ctx) {
+    const Type t = checkExpr(d.value, scopes, ctx);
+    Type bound = t;
+    if (d.declaredType) {
+      if (d.declaredType->isArray)
+        error(d.loc, "let definitions must be scalar");
+      else if (!assignable(t, *d.declaredType))
+        error(d.loc, "definition of '" + d.name + "' has type " + t.str() +
+                         ", declared " + d.declaredType->str());
+      bound = *d.declaredType;
+    }
+    scopes.back()[d.name] = bound;
+  }
+
+  void checkBlock(Block& b) {
+    if (!b.type.isArray) {
+      error(b.loc, "block '" + b.name + "' must have an array type");
+      b.type = Type::array(b.type.scalar);
+    }
+    if (b.isForall())
+      checkForall(b, std::get<ForallBlock>(b.body));
+    else
+      checkForIter(b, std::get<ForIterBlock>(b.body));
+  }
+
+  void checkForall(Block& b, ForallBlock& fb) {
+    const auto lo = constEvalInt(fb.lo, m_.consts);
+    const auto hi = constEvalInt(fb.hi, m_.consts);
+    VALPIPE_CHECK(lo && hi);  // parser folds these
+    if (*lo > *hi) error(fb.loc, "empty forall index range");
+    const Range range{*lo, *hi};
+
+    IndexCtx ctx;
+    std::vector<Scope> scopes(1);
+    scopes.back()[fb.indexVar] = Type::integer();
+    if (fb.is2d()) {
+      const auto lo2 = constEvalInt(fb.lo2, m_.consts);
+      const auto hi2 = constEvalInt(fb.hi2, m_.consts);
+      VALPIPE_CHECK(lo2 && hi2);
+      if (*lo2 > *hi2) error(fb.loc, "empty forall column range");
+      resolveRange(b, range, Range{*lo2, *hi2});
+      ctx = IndexCtx::full2(fb.indexVar, range, fb.indexVar2,
+                            Range{*lo2, *hi2});
+      scopes.back()[fb.indexVar2] = Type::integer();
+    } else {
+      resolveRange(b, range, std::nullopt);
+      ctx = IndexCtx::full(fb.indexVar, range);
+    }
+    for (const Def& d : fb.defs) checkDef(d, scopes, &ctx);
+    const Type accT = checkExpr(fb.accum, scopes, &ctx);
+    if (!assignable(accT, b.type.element()))
+      error(fb.accum->loc, "accumulation has type " + accT.str() +
+                               ", expected " + b.type.element().str());
+  }
+
+  void checkForIter(Block& b, ForIterBlock& fi) {
+    if (b.type.range2)
+      error(b.loc, "for-iter blocks build one-dimensional arrays (recurrence "
+                   "over a single index)");
+    const auto p = constEvalInt(fi.indexInit, m_.consts);
+    const auto r = constEvalInt(fi.accInitIndex, m_.consts);
+    VALPIPE_CHECK(p && r);
+    if (*p != *r + 1)
+      error(fi.loc, "for-iter appends must start right after the initial "
+                    "element (index init must be initial index + 1)");
+    fi.lastIndex = resolveLoopLastIndex(fi, m_.consts);
+    if (!fi.lastIndex) {
+      error(fi.loc, "for-iter condition must be '" + fi.indexVar +
+                        " < q' or '<= q' with manifest q");
+      fi.lastIndex = *p;  // keep checking with a placeholder
+    }
+    const std::int64_t q = *fi.lastIndex;
+    if (q < *p) error(fi.loc, "for-iter performs no iterations");
+    const Range range{*r, q};
+    resolveRange(b, range);
+
+    // The initial element: evaluated before the loop, no index variable.
+    {
+      std::vector<Scope> scopes(1);
+      const Type t = checkExpr(fi.accInitValue, scopes, nullptr);
+      if (!assignable(t, b.type.element()))
+        error(fi.accInitValue->loc,
+              "initial element has type " + t.str() + ", expected " +
+                  b.type.element().str());
+    }
+
+    // Loop body: index sweeps [p, q]; the loop array is visible with the
+    // range filled so far — element i-1 is always defined when computing
+    // element i, so its full range is usable for checking T[i-1].
+    IndexCtx ctx = IndexCtx::full(fi.indexVar, Range{*p, q});
+    arrays_[fi.accVar] = Type::array(b.type.scalar, range);
+    std::vector<Scope> scopes(1);
+    scopes.back()[fi.indexVar] = Type::integer();
+    for (const Def& d : fi.defs) checkDef(d, scopes, &ctx);
+    const Type condT = checkExpr(fi.cond, scopes, &ctx);
+    if (!(condT.isScalar() && condT.scalar == Scalar::Boolean))
+      error(fi.cond->loc, "for-iter condition must be boolean");
+    const Type appT = checkExpr(fi.appendValue, scopes, &ctx);
+    if (!assignable(appT, b.type.element()))
+      error(fi.appendValue->loc, "appended element has type " + appT.str() +
+                                     ", expected " + b.type.element().str());
+    arrays_.erase(fi.accVar);
+  }
+
+  void resolveRange(Block& b, const Range& range,
+                    std::optional<Range> range2 = std::nullopt) {
+    if (b.type.range) {  // ranges were declared: they must match the body
+      if (*b.type.range != range)
+        error(b.loc, "block '" + b.name + "' declares range " +
+                         b.type.range->str() + " but its body produces " +
+                         range.str());
+      if (b.type.range2.has_value() != range2.has_value() ||
+          (range2 && b.type.range2 && *b.type.range2 != *range2))
+        error(b.loc, "block '" + b.name +
+                         "' declared dimensionality/column range does not "
+                         "match its body");
+    }
+    b.type.range = range;
+    b.type.range2 = range2;
+  }
+};
+
+}  // namespace
+
+TypeInfo typecheck(Module& m, Diagnostics& diags) {
+  Checker c(m, diags);
+  return c.run();
+}
+
+TypeInfo typecheckOrThrow(Module& m) {
+  Diagnostics diags;
+  TypeInfo info = typecheck(m, diags);
+  if (diags.hasErrors()) throw CompileError(diags.str());
+  return info;
+}
+
+}  // namespace valpipe::val

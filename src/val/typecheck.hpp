@@ -1,0 +1,33 @@
+// Type checker for pipe-structured modules.
+//
+// Beyond ordinary scalar typing (integer/real promotion, boolean operators,
+// matching conditional arms) it resolves every block's manifest index range,
+// checks that blocks reference only parameters and earlier blocks (the
+// applicative order that makes the flow dependency graph acyclic, §4), and
+// verifies that every array element access stays inside the producer's
+// declared range for the whole index sweep.
+#pragma once
+
+#include <map>
+
+#include "support/diagnostics.hpp"
+#include "val/ast.hpp"
+
+namespace valpipe::val {
+
+struct TypeInfo {
+  /// Type of every checked expression node.
+  std::map<const Expr*, Type> exprTypes;
+
+  Type typeOf(const ExprPtr& e) const { return exprTypes.at(e.get()); }
+};
+
+/// Checks `m`, resolving block ranges and for-iter trip counts in place.
+/// Reports problems into `diags`; the returned info is complete only when
+/// diags has no errors.
+TypeInfo typecheck(Module& m, Diagnostics& diags);
+
+/// Convenience: parse-free entry that throws CompileError on any error.
+TypeInfo typecheckOrThrow(Module& m);
+
+}  // namespace valpipe::val

@@ -1,0 +1,69 @@
+// The Val subset's types: the scalars real / integer / boolean, and
+// fixed-range one-dimensional arrays of scalars (the paper's pipe-structured
+// definition requires manifest index ranges).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace valpipe::val {
+
+enum class Scalar { Real, Integer, Boolean };
+
+const char* toString(Scalar s);
+
+/// Inclusive index range [lo, hi].
+struct Range {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+
+  std::int64_t length() const { return hi - lo + 1; }
+  bool contains(std::int64_t i) const { return lo <= i && i <= hi; }
+  bool contains(const Range& r) const { return lo <= r.lo && r.hi <= hi; }
+  friend bool operator==(const Range&, const Range&) = default;
+  std::string str() const;
+};
+
+struct Type {
+  Scalar scalar = Scalar::Real;
+  bool isArray = false;
+  /// For arrays: the manifest range, filled in by the type checker (param
+  /// declarations carry it syntactically; block ranges are derived).
+  std::optional<Range> range;
+  /// Second dimension for two-dimensional arrays (§9's "extension to array
+  /// values of multiple dimension").  Elements stream row-major: the first
+  /// range is the slowly varying (row) index.
+  std::optional<Range> range2;
+
+  static Type real() { return {Scalar::Real, false, std::nullopt, std::nullopt}; }
+  static Type integer() {
+    return {Scalar::Integer, false, std::nullopt, std::nullopt};
+  }
+  static Type boolean() {
+    return {Scalar::Boolean, false, std::nullopt, std::nullopt};
+  }
+  static Type array(Scalar elem, std::optional<Range> r = std::nullopt,
+                    std::optional<Range> r2 = std::nullopt) {
+    return {elem, true, r, r2};
+  }
+
+  bool isScalar() const { return !isArray; }
+  bool is2d() const { return isArray && range2.has_value(); }
+  Type element() const { return {scalar, false, std::nullopt, std::nullopt}; }
+  /// Total packets one instance of this array occupies on a stream.
+  std::int64_t streamLength() const {
+    std::int64_t n = range ? range->length() : 0;
+    if (range2) n *= range2->length();
+    return n;
+  }
+
+  /// Type equality ignoring ranges (Val array types are range-agnostic;
+  /// ranges are checked separately).
+  bool sameAs(const Type& o) const {
+    return scalar == o.scalar && isArray == o.isArray;
+  }
+  std::string str() const;
+};
+
+}  // namespace valpipe::val

@@ -1,0 +1,138 @@
+// Random pipe-structured Val program generator for property tests: emits
+// source text whose blocks are guaranteed primitive (and optionally simple),
+// with all array accesses in range.
+#pragma once
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace valpipe::testing {
+
+struct GenOptions {
+  int blocks = 2;           ///< number of chained blocks
+  int maxDepth = 3;         ///< expression depth
+  bool allowForIter = true;
+  bool linearOnly = true;   ///< for-iter bodies stay linear (simple class)
+  bool allowDataCond = true;
+  int m = 12;               ///< manifest extent
+};
+
+class ProgramGen {
+ public:
+  ProgramGen(unsigned seed, GenOptions opts) : rng_(seed), opts_(opts) {}
+
+  /// Emits a complete module.  Arrays P0, P1 are parameters over [0, m+1];
+  /// blocks V0.. are defined over [1, m] and consume parameters (offsets
+  /// -1..1) and earlier blocks (offset 0).
+  std::string module() {
+    std::ostringstream os;
+    os << "const m = " << opts_.m << "\n";
+    os << "function gen(P0, P1: array[real] [0, m+1] returns array[real])\n";
+    os << "  let\n";
+    std::vector<std::string> defined;
+    for (int b = 0; b < opts_.blocks; ++b) {
+      const std::string name = "V" + std::to_string(b);
+      const bool iter = opts_.allowForIter && b > 0 && chance(40);
+      // A for-iter block spans [0, m] (initial element at 0); forall [1, m].
+      os << "    " << name << " : array[real] [" << (iter ? 0 : 1)
+         << ", m] := ";
+      os << (iter ? forIterBlock(defined) : forallBlock(defined));
+      os << "\n";
+      defined.push_back(name);
+    }
+    os << "  in V" << (opts_.blocks - 1) << " endlet\nendfun\n";
+    return os.str();
+  }
+
+ private:
+  std::mt19937 rng_;
+  GenOptions opts_;
+
+  bool chance(int percent) { return static_cast<int>(rng_() % 100) < percent; }
+  int pick(int n) { return static_cast<int>(rng_() % n); }
+
+  /// A random stream leaf: parameter with offset, earlier block, or index.
+  std::string leaf(const std::vector<std::string>& defined) {
+    switch (pick(defined.empty() ? 3 : 4)) {
+      case 0: {
+        const int off = pick(3) - 1;  // -1..1, safe for [0, m+1] at i in [1, m]
+        std::string idx = "i";
+        if (off > 0) idx += "+" + std::to_string(off);
+        if (off < 0) idx += std::to_string(off);
+        return std::string("P") + std::to_string(pick(2)) + "[" + idx + "]";
+      }
+      case 1: return fmt(0.25 + 0.5 * pick(4));
+      case 2: return "(0.1 * i)";  // index variable as a value
+      default:
+        return defined[pick(static_cast<int>(defined.size()))] + "[i]";
+    }
+  }
+
+  static std::string fmt(double v) {
+    std::ostringstream os;
+    os << v;
+    std::string s = os.str();
+    if (s.find('.') == std::string::npos) s += ".";
+    return s;
+  }
+
+  std::string expr(const std::vector<std::string>& defined, int depth) {
+    if (depth <= 0 || chance(25)) return leaf(defined);
+    switch (pick(6)) {
+      case 0:
+        return "(" + expr(defined, depth - 1) + " + " + expr(defined, depth - 1) + ")";
+      case 1:
+        return "(" + expr(defined, depth - 1) + " - " + expr(defined, depth - 1) + ")";
+      case 2:
+        return "(" + expr(defined, depth - 1) + " * " + fmt(0.5) + ")";
+      case 3:
+        return "(" + expr(defined, depth - 1) + " / 2.)";
+      case 4:  // index-only condition (folds into a control sequence)
+        return "(if i < " + std::to_string(1 + pick(opts_.m)) + " then " +
+               expr(defined, depth - 1) + " else " + expr(defined, depth - 1) +
+               " endif)";
+      default:
+        if (!opts_.allowDataCond)
+          return "(" + expr(defined, depth - 1) + " * 0.5)";
+        return "(if " + leaf(defined) + " > 0.5 then " +
+               expr(defined, depth - 1) + " else " + expr(defined, depth - 1) +
+               " endif)";
+    }
+  }
+
+  std::string forallBlock(const std::vector<std::string>& defined) {
+    std::ostringstream os;
+    os << "forall i in [1, m]\n";
+    const bool withDef = chance(60);
+    if (withDef) os << "      Q : real := " << expr(defined, opts_.maxDepth) << ";\n";
+    os << "      construct ";
+    if (withDef)
+      os << "(Q + " << expr(defined, opts_.maxDepth - 1) << ")";
+    else
+      os << expr(defined, opts_.maxDepth);
+    os << " endall";
+    return os.str();
+  }
+
+  std::string forIterBlock(const std::vector<std::string>& defined) {
+    // x_i = alpha * T[i-1] + beta, coefficients damped to keep values tame.
+    std::ostringstream os;
+    const std::string alpha =
+        "(0.3 * " + leaf(defined) + ")";
+    std::string body;
+    if (opts_.linearOnly || chance(70)) {
+      body = "(" + alpha + " * T[i-1] + " + expr(defined, opts_.maxDepth - 1) + ")";
+    } else {
+      body = "(T[i-1] * T[i-1] * 0.1 + " + leaf(defined) + ")";
+    }
+    os << "for i : integer := 1; T : array[real] := [0: " << fmt(0.5)
+       << "]\n      do let P : real := " << body
+       << "\n         in if i < m + 1 then iter T := T[i: P]; i := i + 1 enditer"
+       << "\n            else T endif endlet endfor";
+    return os.str();
+  }
+};
+
+}  // namespace valpipe::testing

@@ -1,0 +1,110 @@
+// Tests for the balance-pass API surface and assorted small helpers not
+// covered elsewhere (plannedBuffering, cycle preservation, config profiles,
+// Range/Type helpers).
+#include <gtest/gtest.h>
+
+#include "analysis/paths.hpp"
+#include "core/balance.hpp"
+#include "core/compiler.hpp"
+#include "machine/config.hpp"
+#include "testing.hpp"
+#include "val/types.hpp"
+
+namespace valpipe {
+namespace {
+
+using core::BalanceMode;
+
+TEST(BalanceApi, PlannedMatchesInserted) {
+  core::CompileOptions raw;
+  raw.balanceMode = BalanceMode::None;
+  for (auto mode : {BalanceMode::LongestPath, BalanceMode::Optimal}) {
+    auto prog = core::compileSource(testing::example1Source(16), raw);
+    const std::size_t planned = core::plannedBuffering(prog.graph, mode);
+    const auto outcome = core::balanceGraph(prog.graph, mode);
+    EXPECT_EQ(planned, outcome.buffersInserted);
+    EXPECT_EQ(outcome.mode, mode);
+  }
+}
+
+TEST(BalanceApi, NoneIsNoOp) {
+  core::CompileOptions raw;
+  raw.balanceMode = BalanceMode::None;
+  auto prog = core::compileSource(testing::example1Source(8), raw);
+  const std::size_t before = prog.graph.size();
+  const auto outcome = core::balanceGraph(prog.graph, BalanceMode::None);
+  EXPECT_EQ(outcome.buffersInserted, 0u);
+  EXPECT_EQ(prog.graph.size(), before);
+  EXPECT_EQ(core::plannedBuffering(prog.graph, BalanceMode::None), 0u);
+}
+
+TEST(BalanceApi, BalancingIsIdempotent) {
+  core::CompileOptions raw;
+  raw.balanceMode = BalanceMode::None;
+  auto prog = core::compileSource(testing::figure3Source(12), raw);
+  core::balanceGraph(prog.graph, BalanceMode::Optimal);
+  const auto again = core::balanceGraph(prog.graph, BalanceMode::Optimal);
+  EXPECT_EQ(again.buffersInserted, 0u);  // already balanced
+}
+
+TEST(BalanceApi, CycleStagesPreservedAcrossBalancing) {
+  // Balancing must never insert buffering into a for-iter cycle.
+  core::CompileOptions todd;
+  todd.forIterScheme = core::ForIterScheme::Todd;
+  todd.balanceMode = BalanceMode::Optimal;
+  const auto prog = core::compileSource(testing::example2Source(24), todd);
+  const auto cycles = analysis::feedbackCycles(prog.graph);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].stages, 3);
+}
+
+TEST(MachineConfig, Profiles) {
+  const auto unit = machine::MachineConfig::unit();
+  EXPECT_EQ(unit.latencyOf(dfg::Op::Mul), 1);
+  EXPECT_EQ(unit.routeDelay, 0);
+  EXPECT_EQ(unit.unitsOf(dfg::FuClass::Fpu), 0);  // unlimited
+
+  const auto hw = machine::MachineConfig::hardware(4, 2, 1);
+  EXPECT_EQ(hw.latencyOf(dfg::Op::Mul), 4);   // FPU
+  EXPECT_EQ(hw.latencyOf(dfg::Op::Lt), 2);    // ALU
+  EXPECT_EQ(hw.latencyOf(dfg::Op::AmStore), 6);
+  EXPECT_EQ(hw.latencyOf(dfg::Op::Id), 1);    // PE
+  EXPECT_EQ(hw.unitsOf(dfg::FuClass::Fpu), 4);
+  EXPECT_EQ(hw.unitsOf(dfg::FuClass::Alu), 2);
+  EXPECT_EQ(hw.routeDelay, 1);
+}
+
+TEST(Types, RangeHelpers) {
+  const val::Range r{2, 5};
+  EXPECT_EQ(r.length(), 4);
+  EXPECT_TRUE(r.contains(2) && r.contains(5));
+  EXPECT_FALSE(r.contains(1) || r.contains(6));
+  EXPECT_TRUE(r.contains(val::Range{3, 4}));
+  EXPECT_FALSE(r.contains(val::Range{3, 6}));
+  EXPECT_EQ(r.str(), "[2, 5]");
+}
+
+TEST(Types, TypeHelpers) {
+  const val::Type t2 =
+      val::Type::array(val::Scalar::Real, val::Range{0, 3}, val::Range{1, 4});
+  EXPECT_TRUE(t2.is2d());
+  EXPECT_EQ(t2.streamLength(), 16);
+  EXPECT_EQ(t2.str(), "array[real][0, 3][1, 4]");
+  EXPECT_TRUE(t2.element().isScalar());
+  const val::Type t1 = val::Type::array(val::Scalar::Integer, val::Range{1, 8});
+  EXPECT_FALSE(t1.is2d());
+  EXPECT_EQ(t1.streamLength(), 8);
+  EXPECT_TRUE(t1.sameAs(val::Type::array(val::Scalar::Integer)));
+  EXPECT_FALSE(t1.sameAs(t2));
+}
+
+TEST(CompiledProgram, HelperAccessors) {
+  const auto prog = core::compileSource(testing::figure3Source(10));
+  EXPECT_EQ(prog.expectedOutputPerWave(), 11);  // X over [0, 10]
+  EXPECT_EQ(prog.inputLengthPerWave("B"), 12);  // [0, 11]
+  EXPECT_EQ(prog.inputLengthPerWave("A2"), 10);
+  EXPECT_DOUBLE_EQ(prog.predictedRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace valpipe

@@ -1,0 +1,149 @@
+// Unit tests for the §5–§7 program-class predicates.
+#include <gtest/gtest.h>
+
+#include "val/classify.hpp"
+#include "val/parser.hpp"
+#include "val/typecheck.hpp"
+
+#include "testing.hpp"
+
+namespace valpipe::val {
+namespace {
+
+Module checked(const std::string& src) {
+  Module m = parseModuleOrThrow(src);
+  typecheckOrThrow(m);
+  return m;
+}
+
+ExprPtr expr(const std::string& src) {
+  Diagnostics diags;
+  ExprPtr e = parseExpression(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  return e;
+}
+
+const std::set<std::string> kArrays{"A", "B", "C"};
+const std::map<std::string, std::int64_t> kConsts{{"m", 8}};
+
+TEST(PrimitiveExpr, LiteralsAndScalars) {
+  EXPECT_TRUE(isPrimitiveExpr(expr("1"), "i", kArrays, kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("0.25"), "i", kArrays, kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("true"), "i", kArrays, kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("x"), "i", kArrays, kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("i"), "i", kArrays, kConsts));
+}
+
+TEST(PrimitiveExpr, Rule3Operators) {
+  EXPECT_TRUE(isPrimitiveExpr(expr("(x + y) * 2. - z / 4."), "i", kArrays,
+                              kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("(i = 0) | (i = m+1)"), "i", kArrays,
+                              kConsts));
+}
+
+TEST(PrimitiveExpr, Rule4ArrayAccess) {
+  EXPECT_TRUE(isPrimitiveExpr(expr("A[i]"), "i", kArrays, kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("A[i-1]"), "i", kArrays, kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("A[i+m]"), "i", kArrays, kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(expr("A[2+i]"), "i", kArrays, kConsts));
+  // Non-affine or wrong-variable indices violate rule 4.
+  EXPECT_FALSE(isPrimitiveExpr(expr("A[2*i]"), "i", kArrays, kConsts));
+  EXPECT_FALSE(isPrimitiveExpr(expr("A[j]"), "i", kArrays, kConsts));
+  EXPECT_FALSE(isPrimitiveExpr(expr("A[A[i]]"), "i", kArrays, kConsts));
+  // No index variable in scope: rule 4 unusable.
+  EXPECT_FALSE(isPrimitiveExpr(expr("A[i]"), "", kArrays, kConsts));
+}
+
+TEST(PrimitiveExpr, ArrayWithoutSelectionRejected) {
+  EXPECT_FALSE(isPrimitiveExpr(expr("A"), "i", kArrays, kConsts));
+  EXPECT_FALSE(isPrimitiveExpr(expr("A + 1"), "i", kArrays, kConsts));
+}
+
+TEST(PrimitiveExpr, Rules5And6) {
+  EXPECT_TRUE(isPrimitiveExpr(
+      expr("let y : real := A[i] * 2. in y + 1. endlet"), "i", kArrays,
+      kConsts));
+  EXPECT_TRUE(isPrimitiveExpr(
+      expr("if C[i] > 0. then A[i] else B[i] endif"), "i", kArrays, kConsts));
+  // A definition shadows an array name with a scalar.
+  EXPECT_TRUE(isPrimitiveExpr(expr("let A : real := 1. in A + 1. endlet"),
+                              "i", kArrays, kConsts));
+}
+
+TEST(PrimitiveExpr, ScalarPrimitiveForbidsArrays) {
+  EXPECT_TRUE(isScalarPrimitiveExpr(expr("1 + 2 * m"), kConsts));
+  EXPECT_FALSE(isScalarPrimitiveExpr(expr("A[i]"), kConsts));
+}
+
+TEST(Classify, Example1IsPrimitiveForall) {
+  Module m = checked(valpipe::testing::example1Source(8));
+  EXPECT_TRUE(isPrimitiveForall(m.blocks[0], m));
+  EXPECT_TRUE(isPipeStructured(m));
+}
+
+TEST(Classify, Example2IsPrimitiveAndSimpleForIter) {
+  Module m = checked(valpipe::testing::example2Source(8));
+  EXPECT_TRUE(isPrimitiveForIter(m.blocks[0], m));
+  EXPECT_TRUE(isSimpleForIter(m.blocks[0], m));
+  EXPECT_TRUE(isPipeStructured(m));
+}
+
+TEST(Classify, Figure3IsPipeStructured) {
+  Module m = checked(valpipe::testing::figure3Source(8));
+  EXPECT_TRUE(isPipeStructured(m));
+}
+
+TEST(Classify, NonLinearRecurrenceIsPrimitiveButNotSimple) {
+  Module m = checked(R"(
+const m = 8
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 1]
+  do if i < m + 1 then iter T := T[i: T[i-1] * T[i-1] + A[i]]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)");
+  EXPECT_TRUE(isPrimitiveForIter(m.blocks[0], m));
+  const auto r = isSimpleForIter(m.blocks[0], m);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("not linear"), std::string::npos) << r.reason;
+}
+
+TEST(Classify, WrongOffsetOnLoopArrayRejected) {
+  // T[i] is a self-reference: range-wise fine, but not the T[i-1] shape the
+  // first-order recurrence class requires.
+  Module m = checked(R"(
+const m = 8
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do if i < m + 1 then iter T := T[i: T[i] + A[i]]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)");
+  const auto r = isPrimitiveForIter(m.blocks[0], m);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("first-order"), std::string::npos) << r.reason;
+}
+
+TEST(Classify, VisibleArraysAreParamsAndEarlierBlocks) {
+  Module m = checked(valpipe::testing::figure3Source(8));
+  const auto forA = visibleArrays(m, m.blocks[0]);
+  EXPECT_TRUE(forA.count("B"));
+  EXPECT_TRUE(forA.count("C"));
+  EXPECT_FALSE(forA.count("A"));
+  const auto forX = visibleArrays(m, m.blocks[1]);
+  EXPECT_TRUE(forX.count("A"));
+}
+
+TEST(Classify, ArrayIndexOffsetHelper) {
+  EXPECT_EQ(arrayIndexOffset(expr("i"), "i", kConsts), 0);
+  EXPECT_EQ(arrayIndexOffset(expr("i+3"), "i", kConsts), 3);
+  EXPECT_EQ(arrayIndexOffset(expr("i-2"), "i", kConsts), -2);
+  EXPECT_EQ(arrayIndexOffset(expr("m+i"), "i", kConsts), 8);
+  EXPECT_EQ(arrayIndexOffset(expr("i+i"), "i", kConsts), std::nullopt);
+  EXPECT_EQ(arrayIndexOffset(expr("2-i"), "i", kConsts), std::nullopt);
+}
+
+}  // namespace
+}  // namespace valpipe::val

@@ -1,0 +1,114 @@
+// Unit tests for the reference evaluator.
+#include <gtest/gtest.h>
+
+#include "val/eval.hpp"
+#include "val/parser.hpp"
+#include "val/typecheck.hpp"
+
+#include "testing.hpp"
+
+namespace valpipe::val {
+namespace {
+
+Module checked(const std::string& src) {
+  Module m = parseModuleOrThrow(src);
+  typecheckOrThrow(m);
+  return m;
+}
+
+TEST(Eval, ArrayValBounds) {
+  ArrayVal a{2, {Value(1.0), Value(2.0), Value(3.0)}};
+  EXPECT_EQ(a.hi(), 4);
+  EXPECT_DOUBLE_EQ(a.at(2).asReal(), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(4).asReal(), 3.0);
+  EXPECT_THROW(a.at(1), ValueError);
+  EXPECT_THROW(a.at(5), ValueError);
+}
+
+TEST(Eval, Example1Boundaries) {
+  const int m = 4;
+  Module mod = checked(valpipe::testing::example1Source(m));
+  ArrayMap in;
+  std::vector<Value> b, c;
+  for (int i = 0; i <= m + 1; ++i) {
+    b.push_back(Value(1.0));
+    c.push_back(Value(static_cast<double>(i)));
+  }
+  in["B"] = {0, b};
+  in["C"] = {0, c};
+  const EvalResult res = evaluate(mod, in);
+  ASSERT_EQ(res.result.elems.size(), static_cast<std::size_t>(m + 2));
+  // Boundary: P = C[i] -> C[0]^2 = 0, C[5]^2 = 25.
+  EXPECT_DOUBLE_EQ(res.result.elems[0].toReal(), 0.0);
+  EXPECT_DOUBLE_EQ(res.result.elems[m + 1].toReal(), 25.0);
+  // Interior i=2: P = 0.25*(1 + 2*2 + 3) = 2 -> 4.
+  EXPECT_DOUBLE_EQ(res.result.elems[2].toReal(), 4.0);
+}
+
+TEST(Eval, Example2Recurrence) {
+  const int m = 4;
+  Module mod = checked(valpipe::testing::example2Source(m));
+  ArrayMap in;
+  in["A"] = {1, {Value(2.0), Value(2.0), Value(2.0), Value(2.0)}};
+  in["B"] = {1, {Value(1.0), Value(1.0), Value(1.0), Value(1.0)}};
+  const EvalResult res = evaluate(mod, in);
+  // x0 = 0; x_i = 2 x_{i-1} + 1: 0, 1, 3, 7, 15.
+  const double want[] = {0, 1, 3, 7, 15};
+  ASSERT_EQ(res.result.elems.size(), 5u);
+  for (int i = 0; i <= m; ++i)
+    EXPECT_DOUBLE_EQ(res.result.elems[i].toReal(), want[i]) << i;
+  EXPECT_EQ(res.result.lo, 0);
+}
+
+TEST(Eval, MultiBlockChaining) {
+  Module mod = checked(R"(
+const m = 3
+function f(A: array[real] [0, m] returns array[real])
+  let
+    D : array[real] := forall i in [0, m] construct A[i] * 2. endall
+    E : array[real] := forall i in [0, m] construct D[i] + 1. endall
+  in E endlet
+endfun
+)");
+  ArrayMap in;
+  in["A"] = {0, {Value(1.0), Value(2.0), Value(3.0), Value(4.0)}};
+  const EvalResult res = evaluate(mod, in);
+  EXPECT_DOUBLE_EQ(res.blocks.at("D").elems[3].toReal(), 8.0);
+  EXPECT_DOUBLE_EQ(res.result.elems[0].toReal(), 3.0);
+  EXPECT_DOUBLE_EQ(res.result.elems[3].toReal(), 9.0);
+}
+
+TEST(Eval, MissingInputReported) {
+  Module mod = checked(valpipe::testing::example1Source(4));
+  ArrayMap in;
+  in["B"] = valpipe::testing::randomArray({0, 5}, 1);
+  EXPECT_THROW(evaluate(mod, in), CompileError);
+}
+
+TEST(Eval, WrongRangeInputReported) {
+  Module mod = checked(valpipe::testing::example1Source(4));
+  ArrayMap in;
+  in["B"] = valpipe::testing::randomArray({0, 5}, 1);
+  in["C"] = valpipe::testing::randomArray({0, 3}, 2);
+  EXPECT_THROW(evaluate(mod, in), CompileError);
+}
+
+TEST(Eval, ExprLetShadowing) {
+  Diagnostics diags;
+  ExprPtr e = parseExpression(
+      "let x : real := 1. in let x : real := x + 1. in x * 10. endlet endlet",
+      diags);
+  ASSERT_FALSE(diags.hasErrors());
+  EXPECT_DOUBLE_EQ(evalExpr(e, {}, {}).toReal(), 20.0);
+}
+
+TEST(Eval, IntegerSemanticsPreserved) {
+  Diagnostics diags;
+  ExprPtr e = parseExpression("7 / 2", diags);
+  const Value v = evalExpr(e, {}, {});
+  EXPECT_TRUE(v.isInteger());
+  EXPECT_EQ(v.asInteger(), 3);
+}
+
+}  // namespace
+}  // namespace valpipe::val

@@ -1,0 +1,190 @@
+// Tests for the counter-loop lowering of control-sequence generators
+// (Todd's machine-level construction) and for load-time tokens.
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "dfg/expand_ctl.hpp"
+#include "dfg/lower.hpp"
+#include "dfg/prune.hpp"
+#include "dfg/stats.hpp"
+#include "dfg/validate.hpp"
+#include "machine/engine.hpp"
+#include "support/diagnostics.hpp"
+#include "testing.hpp"
+
+namespace valpipe {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+
+/// Runs a lowered graph on the machine engine collecting `expect` outputs.
+machine::MachineResult runMachine(const Graph& g,
+                                  const machine::StreamMap& in,
+                                  const std::string& out, std::int64_t expect) {
+  machine::RunOptions opts;
+  opts.expectedOutputs[out] = expect;
+  return machine::simulate(dfg::expandFifos(g), machine::MachineConfig::unit(),
+                           in, opts);
+}
+
+TEST(ExpandCtl, CounterReplacesIndexSeq) {
+  Graph g;
+  const NodeId seq = g.indexSeq(3, 7, 1);
+  g.output("x", Graph::out(seq));
+  ASSERT_TRUE(dfg::hasControlGenerators(g));
+
+  Graph low = dfg::pruneDead(dfg::expandControlGenerators(g));
+  EXPECT_FALSE(dfg::hasControlGenerators(low));
+  EXPECT_TRUE(dfg::validate(low).ok()) << dfg::validate(low).str();
+
+  // Two full periods of the counter: 3..7, 3..7.
+  const auto res = runMachine(low, {}, "x", 10);
+  ASSERT_TRUE(res.completed) << res.note;
+  std::vector<Value> want;
+  for (int rep = 0; rep < 2; ++rep)
+    for (int i = 3; i <= 7; ++i) want.push_back(Value(std::int64_t{i}));
+  EXPECT_EQ(res.outputs.at("x"), want);
+  // Free-running counter sustains the machine maximum.
+  EXPECT_NEAR(res.steadyRate("x"), 0.5, 0.1);
+}
+
+TEST(ExpandCtl, PatternLowersToComparisons) {
+  Graph g;
+  dfg::BoolPattern p;
+  p.bits = {false, true, true, false, true, false};
+  const NodeId ctl = g.boolSeq(p);
+  g.output("x", Graph::out(ctl));
+  Graph low = dfg::pruneDead(dfg::expandControlGenerators(g));
+  EXPECT_TRUE(dfg::validate(low).ok()) << dfg::validate(low).str();
+
+  const auto res = runMachine(low, {}, "x", 12);  // two periods
+  ASSERT_TRUE(res.completed) << res.note;
+  std::vector<Value> want;
+  for (int rep = 0; rep < 2; ++rep)
+    for (bool b : {false, true, true, false, true, false})
+      want.push_back(Value(b));
+  EXPECT_EQ(res.outputs.at("x"), want);
+}
+
+TEST(ExpandCtl, UniformPatterns) {
+  for (bool uniformValue : {true, false}) {
+    Graph g;
+    const NodeId ctl = g.boolSeq(dfg::BoolPattern::uniform(uniformValue, 4));
+    g.output("x", Graph::out(ctl));
+    Graph low = dfg::pruneDead(dfg::expandControlGenerators(g));
+    const auto res = runMachine(low, {}, "x", 4);
+    ASSERT_TRUE(res.completed) << res.note;
+    for (const Value& v : res.outputs.at("x"))
+      EXPECT_EQ(v.asBoolean(), uniformValue);
+  }
+}
+
+TEST(ExpandCtl, RejectsBatchedIndexSeq) {
+  Graph g;
+  const NodeId seq = g.indexSeq(0, 3, 2);
+  g.output("x", Graph::out(seq));
+  EXPECT_THROW(dfg::expandControlGenerators(g), CompileError);
+}
+
+TEST(ExpandCtl, GatedSelectionStillWorks) {
+  // An input gated by a lowered control sequence selects the same window.
+  const std::int64_t n = 8;
+  Graph g;
+  const NodeId in = g.input("a", n);
+  const NodeId ctl = g.boolSeq(dfg::BoolPattern::runs(2, 4, 2));
+  const NodeId gate = g.gatedIdentity(Graph::out(in), Graph::out(ctl));
+  g.output("x", Graph::outT(gate));
+
+  std::vector<Value> data;
+  for (int i = 0; i < n; ++i) data.push_back(Value(static_cast<double>(i)));
+
+  Graph low = dfg::pruneDead(dfg::expandControlGenerators(g));
+  const auto res = runMachine(low, {{"a", data}}, "x", 4);
+  ASSERT_TRUE(res.completed) << res.note;
+  EXPECT_EQ(res.outputs.at("x"),
+            (std::vector<Value>{Value(2.0), Value(3.0), Value(4.0), Value(5.0)}));
+}
+
+TEST(ExpandCtl, Example1LoweredMatchesAbstractGenerators) {
+  const int m = 24;
+  val::Module mod = core::frontend(testing::example1Source(m));
+  val::ArrayMap in;
+  in["B"] = testing::randomArray({0, m + 1}, 61);
+  in["C"] = testing::randomArray({0, m + 1}, 62);
+  const auto ref = val::evaluate(mod, in);
+
+  core::CompileOptions opts;
+  opts.lowerControl = true;
+  const auto prog = core::compile(mod, opts);
+  EXPECT_FALSE(dfg::hasControlGenerators(prog.graph));
+
+  const auto res = runMachine(prog.graph, testing::inputsFor(prog, in),
+                              prog.outputName, m + 2);
+  ASSERT_TRUE(res.completed) << res.note;
+  testing::expectStreamNear(res.outputs.at(prog.outputName), ref.result.elems,
+                            0.0, "lowered-control output");
+  EXPECT_GE(res.steadyRate(prog.outputName), 0.45);
+}
+
+TEST(ExpandCtl, Example2ToddLoweredKeepsOneThirdRate) {
+  const int m = 127;
+  val::Module mod = core::frontend(testing::example2Source(m));
+  val::ArrayMap in;
+  in["A"] = testing::randomArray({1, m}, 63, -0.9, 0.9);
+  in["B"] = testing::randomArray({1, m}, 64);
+  const auto ref = val::evaluate(mod, in);
+
+  core::CompileOptions opts;
+  opts.lowerControl = true;
+  opts.forIterScheme = core::ForIterScheme::Todd;
+  const auto prog = core::compile(mod, opts);
+  const auto res = runMachine(prog.graph, testing::inputsFor(prog, in),
+                              prog.outputName, m + 1);
+  ASSERT_TRUE(res.completed) << res.note;
+  testing::expectStreamNear(res.outputs.at(prog.outputName), ref.result.elems,
+                            0.0, "lowered todd output");
+  EXPECT_NEAR(res.steadyRate(prog.outputName), 1.0 / 3.0, 0.02);
+}
+
+TEST(ExpandCtl, CellOverheadIsModest) {
+  const auto abstract = core::compileSource(testing::example1Source(32));
+  core::CompileOptions opts;
+  opts.lowerControl = true;
+  const auto lowered = core::compileSource(testing::example1Source(32), opts);
+  const auto a = dfg::computeStats(abstract.graph);
+  const auto b = dfg::computeStats(lowered.graph);
+  EXPECT_GT(b.cells, a.cells);        // counters cost real cells...
+  EXPECT_LT(b.cells, a.cells * 4);    // ...but only a constant factor
+  EXPECT_EQ(b.byOp.count(dfg::Op::BoolSeq), 0u);
+}
+
+TEST(InitialTokens, ValidateRejectsInitialOnLiteral) {
+  Graph g;
+  dfg::PortSrc lit = Graph::lit(Value(1));
+  lit.initial = Value(2);
+  const NodeId id = g.identity(lit);
+  g.output("x", Graph::out(id));
+  EXPECT_FALSE(dfg::validate(g).ok());
+}
+
+TEST(InitialTokens, InterpreterSeesLoadTimeToken) {
+  // add(in, tokenized arc) where the arc's producer never fires: only the
+  // load-time token is available, so exactly one sum is produced.
+  Graph g;
+  const NodeId in = g.input("a", 2);
+  const NodeId never = g.identity(Graph::out(g.input("b", 1)), "never");
+  dfg::PortSrc arc = Graph::out(never);
+  arc.initial = Value(10.0);
+  const NodeId add = g.binary(Op::Add, Graph::out(in), arc);
+  g.output("x", Graph::out(add));
+  const auto res = sim::interpret(
+      g, {{"a", {Value(1.0), Value(2.0)}}, {"b", {Value(100.0)}}});
+  // Two tokens on the arc total: the load-time one and b's 100.
+  EXPECT_EQ(res.outputs.at("x"),
+            (std::vector<Value>{Value(11.0), Value(102.0)}));
+}
+
+}  // namespace
+}  // namespace valpipe

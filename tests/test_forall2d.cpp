@@ -1,0 +1,299 @@
+// Tests for the §9 extension: two-dimensional arrays streamed row-major
+// through 2-D forall blocks (five-point stencils, boundary guards,
+// row/column index streams, multi-block 2-D chains).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/paths.hpp"
+#include "dfg/validate.hpp"
+#include "val/classify.hpp"
+#include "testing.hpp"
+
+namespace valpipe {
+namespace {
+
+using testing::checkInterpreted;
+using testing::checkMachine;
+
+val::ArrayVal random2d(val::Range rows, val::Range cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  val::ArrayVal a;
+  a.lo = rows.lo;
+  a.lo2 = cols.lo;
+  a.width = cols.length();
+  for (std::int64_t k = 0; k < rows.length() * cols.length(); ++k)
+    a.elems.push_back(Value(dist(rng)));
+  return a;
+}
+
+std::string stencilSource(int h, int w) {
+  return "const h = " + std::to_string(h) + "\nconst w = " +
+         std::to_string(w) + "\n" + R"(
+function stencil(U: array[real] [0, h+1] [0, w+1] returns array[real])
+  forall i in [0, h+1], j in [0, w+1]
+    D : real := if (i = 0) | (i = h+1) | (j = 0) | (j = w+1) then 0.
+                else U[i-1, j] + U[i+1, j] + U[i, j-1] + U[i, j+1]
+                     - 4. * U[i, j] endif;
+  construct U[i, j] + 0.2 * D
+  endall
+endfun
+)";
+}
+
+TEST(Forall2d, ParserAndTypes) {
+  val::Module m = core::frontend(stencilSource(4, 6));
+  ASSERT_EQ(m.blocks.size(), 1u);
+  ASSERT_TRUE(m.blocks[0].isForall());
+  const val::ForallBlock& fb = m.blocks[0].forall();
+  EXPECT_TRUE(fb.is2d());
+  EXPECT_EQ(fb.indexVar, "i");
+  EXPECT_EQ(fb.indexVar2, "j");
+  EXPECT_TRUE(m.blocks[0].type.is2d());
+  EXPECT_EQ(*m.blocks[0].type.range, (val::Range{0, 5}));
+  EXPECT_EQ(*m.blocks[0].type.range2, (val::Range{0, 7}));
+  EXPECT_EQ(m.blocks[0].type.streamLength(), 6 * 8);
+  EXPECT_TRUE(val::isPipeStructured(m));
+}
+
+TEST(Forall2d, ReferenceEvaluator) {
+  val::Module m = core::frontend(stencilSource(2, 2));
+  val::ArrayMap in;
+  // A 4x4 grid: all zeros with a 1 at the centre (1,1).
+  val::ArrayVal u;
+  u.lo = 0;
+  u.lo2 = 0;
+  u.width = 4;
+  u.elems.assign(16, Value(0.0));
+  u.elems[1 * 4 + 1] = Value(1.0);
+  in["U"] = u;
+  const auto res = val::evaluate(m, in);
+  ASSERT_TRUE(res.result.is2d());
+  // Centre loses 4*0.2, neighbours gain 0.2.
+  EXPECT_NEAR(res.result.at2(1, 1).toReal(), 1.0 - 0.8, 1e-12);
+  EXPECT_NEAR(res.result.at2(1, 2).toReal(), 0.2, 1e-12);
+  EXPECT_NEAR(res.result.at2(2, 1).toReal(), 0.2, 1e-12);
+  EXPECT_NEAR(res.result.at2(0, 1).toReal(), 0.0, 1e-12);  // boundary frozen
+}
+
+TEST(Forall2d, CompiledStencilMatchesReference) {
+  const int h = 6, w = 5;
+  val::Module m = core::frontend(stencilSource(h, w));
+  val::ArrayMap in;
+  in["U"] = random2d({0, h + 1}, {0, w + 1}, 11);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  EXPECT_TRUE(dfg::validate(prog.graph).ok());
+  EXPECT_EQ(prog.blocks[0].scheme, "forall2d/pipeline");
+  const auto bal = analysis::checkBalanced(prog.graph);
+  EXPECT_TRUE(bal.balanced) << bal.reason;
+  checkInterpreted(prog, in, ref.result.elems, 1e-12);
+  checkMachine(prog, in, ref.result.elems, 1e-12);
+}
+
+TEST(Forall2d, StencilRunsAtFullRate) {
+  const int h = 16, w = 16;
+  val::Module m = core::frontend(stencilSource(h, w));
+  val::ArrayMap in;
+  in["U"] = random2d({0, h + 1}, {0, w + 1}, 13);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  // Theorem 2 extends: the 2-D pipeline sustains the machine maximum (a few
+  // percent is lost to wave boundaries at this grid size).
+  checkMachine(prog, in, ref.result.elems, 1e-12, /*waves=*/2,
+               /*minRate=*/0.45, /*maxRate=*/0.5);
+}
+
+TEST(Forall2d, RowAndColumnIndexStreams) {
+  const std::string src = R"(
+const h = 3
+const w = 4
+function idx(U: array[real] [1, h] [1, w] returns array[real])
+  forall i in [1, h], j in [1, w]
+  construct U[i, j] * 0. + 10. * i + j
+  endall
+endfun
+)";
+  val::Module m = core::frontend(src);
+  val::ArrayMap in;
+  in["U"] = random2d({1, 3}, {1, 4}, 17);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  checkInterpreted(prog, in, ref.result.elems, 1e-12);
+  // Spot-check the row-major order: element (2, 3) sits at position 1*4+2.
+  EXPECT_DOUBLE_EQ(ref.result.elems[1 * 4 + 2].toReal(), 23.0);
+}
+
+TEST(Forall2d, TwoBlockChain) {
+  const std::string src = R"(
+const h = 5
+const w = 5
+function chain(U: array[real] [0, h+1] [0, w+1] returns array[real])
+  let
+    S : array[real] := forall i in [1, h], j in [1, w]
+      construct 0.25 * (U[i-1, j] + U[i+1, j] + U[i, j-1] + U[i, j+1])
+      endall
+    Q : array[real] := forall i in [1, h], j in [1, w]
+      construct S[i, j] * S[i, j]
+      endall
+  in Q endlet
+endfun
+)";
+  val::Module m = core::frontend(src);
+  val::ArrayMap in;
+  in["U"] = random2d({0, 6}, {0, 6}, 19);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  checkInterpreted(prog, in, ref.result.elems, 1e-12);
+  checkMachine(prog, in, ref.result.elems, 1e-12);
+}
+
+TEST(Forall2d, OutOfRangeColumnRejected) {
+  const std::string src = R"(
+const h = 4
+const w = 4
+function f(U: array[real] [0, h] [0, w] returns array[real])
+  forall i in [0, h], j in [0, w] construct U[i, j+1] endall
+endfun
+)";
+  EXPECT_THROW(core::frontend(src), CompileError);
+}
+
+TEST(Forall2d, GuardedColumnAccessAccepted) {
+  const std::string src = R"(
+const h = 4
+const w = 4
+function f(U: array[real] [0, h] [0, w] returns array[real])
+  forall i in [0, h], j in [0, w]
+  construct if j = w then U[i, j] else U[i, j+1] endif endall
+endfun
+)";
+  val::Module m = core::frontend(src);
+  val::ArrayMap in;
+  in["U"] = random2d({0, 4}, {0, 4}, 23);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  checkInterpreted(prog, in, ref.result.elems, 1e-12);
+}
+
+TEST(Forall2d, DimensionalityMismatchesRejected) {
+  // 1-D selection on a 2-D array.
+  EXPECT_THROW(core::frontend(R"(
+const h = 4
+function f(U: array[real] [0, h] [0, h] returns array[real])
+  forall i in [0, h] construct U[i] endall
+endfun
+)"),
+               CompileError);
+  // 2-D selection on a 1-D array.
+  EXPECT_THROW(core::frontend(R"(
+const h = 4
+function f(U: array[real] [0, h] returns array[real])
+  forall i in [0, h], j in [0, h] construct U[i, j] endall
+endfun
+)"),
+               CompileError);
+  // 2-D for-iter accumulator.
+  EXPECT_THROW(core::frontend(R"(
+const h = 4
+function f(U: array[real] [1, h] returns array[real])
+  for i : integer := 1; T : array[real] [0, h] [0, h] := [0: 0]
+  do if i < h then iter T := T[i: U[i]]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)"),
+               CompileError);
+}
+
+TEST(Forall2d, ParallelSchemeRejected) {
+  val::Module m = core::frontend(stencilSource(3, 3));
+  core::CompileOptions opts;
+  opts.forallScheme = core::ForallScheme::Parallel;
+  EXPECT_THROW(core::compile(m, opts), CompileError);
+}
+
+TEST(Forall2d, RowBroadcastOfOneDStream) {
+  // V[i] inside a 2-D block: each packet of the 1-D stream is replicated
+  // across its row by the compiler's hold loop.
+  const std::string src = R"(
+const h = 4
+const w = 5
+function f(U: array[real] [1, h] [1, w]; V: array[real] [0, h]
+           returns array[real])
+  forall i in [1, h], j in [1, w]
+  construct U[i, j] + V[i] * V[i-1] endall
+endfun
+)";
+  val::Module m = core::frontend(src);
+  val::ArrayMap in;
+  in["U"] = random2d({1, 4}, {1, 5}, 29);
+  in["V"] = testing::randomArray({0, 4}, 31);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  checkInterpreted(prog, in, ref.result.elems, 1e-12);
+  checkMachine(prog, in, ref.result.elems, 1e-12);
+}
+
+TEST(Forall2d, RowBroadcastKeepsFullRate) {
+  const std::string src = R"(
+const h = 24
+const w = 24
+function f(U: array[real] [1, h] [1, w]; V: array[real] [1, h]
+           returns array[real])
+  forall i in [1, h], j in [1, w]
+  construct U[i, j] * V[i] endall
+endfun
+)";
+  val::Module m = core::frontend(src);
+  val::ArrayMap in;
+  in["U"] = random2d({1, 24}, {1, 24}, 37);
+  in["V"] = testing::randomArray({1, 24}, 41);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  checkMachine(prog, in, ref.result.elems, 1e-12, 2, 0.45, 0.5);
+}
+
+TEST(Forall2d, RowBroadcastUnderConditional) {
+  // The broadcast stream participates in a static conditional: per-arm
+  // replication counts differ per row.
+  const std::string src = R"(
+const h = 6
+const w = 6
+function f(U: array[real] [1, h] [1, w]; V: array[real] [1, h]
+           returns array[real])
+  forall i in [1, h], j in [1, w]
+  construct if j < 3 then V[i] else U[i, j] endif endall
+endfun
+)";
+  val::Module m = core::frontend(src);
+  val::ArrayMap in;
+  in["U"] = random2d({1, 6}, {1, 6}, 43);
+  in["V"] = testing::randomArray({1, 6}, 47);
+  const auto ref = val::evaluate(m, in);
+  const auto prog = core::compile(m);
+  checkInterpreted(prog, in, ref.result.elems, 1e-12);
+  checkMachine(prog, in, ref.result.elems, 1e-12);
+}
+
+TEST(Forall2d, ColumnSelectionOfOneDStreamRejected) {
+  const std::string src = R"(
+const h = 4
+function f(U: array[real] [1, h] [1, h]; V: array[real] [1, h]
+           returns array[real])
+  forall i in [1, h], j in [1, h]
+  construct U[i, j] + V[j] endall
+endfun
+)";
+  try {
+    core::frontend(src);
+    FAIL() << "expected a compile error";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("row"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace valpipe

@@ -1,0 +1,215 @@
+// For-iter mapping schemes (§7, §9): Todd vs companion (k sweep) vs the
+// long-FIFO interleaving alternative — functional equivalence and rates.
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace valpipe {
+namespace {
+
+using core::CompileOptions;
+using core::ForIterScheme;
+using testing::checkMachine;
+using testing::randomArray;
+
+struct SchemeCase {
+  ForIterScheme scheme;
+  int param;  // companion skip or interleave batch
+};
+
+val::ArrayMap exampleInputs(int m, unsigned seed) {
+  val::ArrayMap in;
+  in["A"] = randomArray({1, m}, seed, -0.8, 0.8);
+  in["B"] = randomArray({1, m}, seed + 1);
+  return in;
+}
+
+TEST(ForIter, CompanionSkipSweepKeepsFullRate) {
+  const int m = 255;
+  val::Module mod = core::frontend(testing::example2Source(m));
+  val::ArrayMap in = exampleInputs(m, 101);
+  const auto ref = val::evaluate(mod, in);
+
+  for (int k : {2, 4, 8}) {
+    CompileOptions opts;
+    opts.forIterScheme = ForIterScheme::Companion;
+    opts.companionSkip = k;
+    const auto prog = core::compile(mod, opts);
+    EXPECT_EQ(prog.blocks[0].cycleStages, 2 * k) << "k=" << k;
+    EXPECT_EQ(prog.blocks[0].cycleTokens, k) << "k=" << k;
+    checkMachine(prog, in, ref.result.elems, 1e-6, 1, 0.45, 0.5);
+  }
+}
+
+TEST(ForIter, CompanionRejectsBadSkip) {
+  val::Module mod = core::frontend(testing::example2Source(16));
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::Companion;
+  opts.companionSkip = 3;  // not a power of two
+  EXPECT_THROW(core::compile(mod, opts), CompileError);
+  opts.companionSkip = 32;  // exceeds trip count
+  EXPECT_THROW(core::compile(mod, opts), CompileError);
+}
+
+TEST(ForIter, CompanionRejectsNonLinear) {
+  const std::string src = R"(
+const m = 16
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0.5]
+  do if i < m + 1 then iter T := T[i: T[i-1]*T[i-1]*0.5 + A[i]]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)";
+  val::Module mod = core::frontend(src);
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::Companion;
+  EXPECT_THROW(core::compile(mod, opts), CompileError);
+}
+
+TEST(ForIter, AutoFallsBackToToddForNonLinear) {
+  const std::string src = R"(
+const m = 32
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0.5]
+  do if i < m + 1 then iter T := T[i: T[i-1]*T[i-1]*0.5 + A[i]]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)";
+  val::Module mod = core::frontend(src);
+  val::ArrayMap in;
+  in["A"] = randomArray({1, 32}, 111, -0.5, 0.5);
+  const auto ref = val::evaluate(mod, in);
+  const auto prog = core::compile(mod);  // Auto
+  EXPECT_EQ(prog.blocks[0].scheme, "for-iter/todd");
+  // Body T[i-1]*T[i-1]*0.5 + A[i] has a 4-cell cycle: rate 1/4.
+  EXPECT_EQ(prog.blocks[0].cycleStages, 4);
+  checkMachine(prog, in, ref.result.elems, 0.0, 1, 0.22, 0.25);
+}
+
+TEST(ForIter, ConstantCoefficientRecurrence) {
+  // x_i = 0.5 x_{i-1} + 1: alpha/beta fold to literals; the companion
+  // pipeline folds away entirely yet the loop still runs at full rate.
+  const std::string src = R"(
+const m = 127
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do if i < m + 1 then iter T := T[i: 0.5 * T[i-1] + 1.]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)";
+  val::Module mod = core::frontend(src);
+  val::ArrayMap in;  // A unused but declared
+  in["A"] = randomArray({1, 127}, 121);
+  const auto ref = val::evaluate(mod, in);
+  const auto prog = core::compile(mod);
+  EXPECT_NE(prog.blocks[0].scheme.find("companion"), std::string::npos);
+  checkMachine(prog, in, ref.result.elems, 1e-9, 1, 0.45, 0.5);
+}
+
+TEST(ForIter, RecurrenceIndependentOfPreviousElement) {
+  // The body never reads T[i-1]: no cycle at all, plain pipeline.
+  const std::string src = R"(
+const m = 64
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do if i < m + 1 then iter T := T[i: A[i] * 2.]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)";
+  val::Module mod = core::frontend(src);
+  val::ArrayMap in;
+  in["A"] = randomArray({1, 64}, 131);
+  const auto ref = val::evaluate(mod, in);
+  CompileOptions todd;
+  todd.forIterScheme = ForIterScheme::Todd;
+  const auto prog = core::compile(mod, todd);
+  EXPECT_EQ(prog.blocks[0].cycleTokens, 0);
+  checkMachine(prog, in, ref.result.elems, 0.0, 1, 0.45, 0.5);
+}
+
+TEST(ForIter, LongFifoInterleavedBatchesAtFullRate) {
+  const int m = 127;
+  val::Module mod = core::frontend(testing::example2Source(m));
+
+  for (int batch : {2, 4, 8}) {
+    CompileOptions opts;
+    opts.forIterScheme = ForIterScheme::LongFifo;
+    opts.interleave = batch;
+    const auto prog = core::compile(mod, opts);
+    EXPECT_EQ(prog.blocks[0].cycleStages, 2 * batch);
+    EXPECT_EQ(prog.interleave, batch);
+
+    // Build element-interleaved inputs for `batch` independent instances and
+    // the matching expected output by running the reference per instance.
+    std::vector<val::ArrayMap> inst(batch);
+    std::vector<val::EvalResult> refs;
+    for (int b = 0; b < batch; ++b) {
+      inst[b] = exampleInputs(m, 200 + 10 * b);
+      refs.push_back(val::evaluate(mod, inst[b]));
+    }
+    machine::StreamMap interleaved;
+    for (const char* name : {"A", "B"}) {
+      std::vector<Value> s;
+      for (int i = 0; i < m; ++i)
+        for (int b = 0; b < batch; ++b)
+          s.push_back(inst[b].at(name).elems[i]);
+      interleaved[name] = std::move(s);
+    }
+    std::vector<Value> want;
+    for (int i = 0; i <= m; ++i)
+      for (int b = 0; b < batch; ++b)
+        want.push_back(refs[b].result.elems[i]);
+
+    dfg::Graph lowered = dfg::expandFifos(prog.graph);
+    machine::RunOptions ropts;
+    ropts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+    const auto res = machine::simulate(lowered, machine::MachineConfig::unit(),
+                                       interleaved, ropts);
+    ASSERT_TRUE(res.completed) << res.note;
+    testing::expectStreamNear(res.outputs.at(prog.outputName), want, 0.0,
+                              "longfifo output");
+    // §9: rate restored to ~1/2, delay traded for throughput.
+    EXPECT_GE(res.steadyRate(prog.outputName), 0.45) << "batch " << batch;
+  }
+}
+
+TEST(ForIter, LongFifoRequiresBatchAtLeastTwo) {
+  val::Module mod = core::frontend(testing::example2Source(16));
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::LongFifo;
+  opts.interleave = 1;
+  EXPECT_THROW(core::compile(mod, opts), CompileError);
+}
+
+TEST(ForIter, LongFifoRejectsMultiBlockPrograms) {
+  val::Module mod = core::frontend(testing::figure3Source(16));
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::LongFifo;
+  opts.interleave = 4;
+  EXPECT_THROW(core::compile(mod, opts), CompileError);
+}
+
+TEST(ForIter, CompanionMatchesToddNumerically) {
+  // Same program, both schemes, same inputs: results agree to fp tolerance.
+  const int m = 64;
+  val::Module mod = core::frontend(testing::example2Source(m));
+  val::ArrayMap in = exampleInputs(m, 141);
+
+  CompileOptions todd, comp;
+  todd.forIterScheme = ForIterScheme::Todd;
+  comp.forIterScheme = ForIterScheme::Companion;
+  const auto progT = core::compile(mod, todd);
+  const auto progC = core::compile(mod, comp);
+
+  const auto rT = sim::interpret(progT.graph, testing::inputsFor(progT, in));
+  const auto rC = sim::interpret(progC.graph, testing::inputsFor(progC, in));
+  testing::expectStreamNear(rC.outputs.at("result"), rT.outputs.at("result"),
+                            1e-9, "companion vs todd");
+}
+
+}  // namespace
+}  // namespace valpipe

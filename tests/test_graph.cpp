@@ -1,0 +1,180 @@
+// Unit tests for the instruction-graph IR: construction, wiring, validation,
+// patterns, DOT export and statistics.
+#include <gtest/gtest.h>
+
+#include "dfg/dot.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/stats.hpp"
+#include "dfg/validate.hpp"
+#include "support/diagnostics.hpp"
+
+namespace valpipe::dfg {
+namespace {
+
+TEST(BoolPattern, RunsAndUniform) {
+  const BoolPattern p = BoolPattern::runs(1, 3, 2);
+  ASSERT_EQ(p.length(), 6u);
+  EXPECT_FALSE(p.bits[0]);
+  EXPECT_TRUE(p.bits[1] && p.bits[2] && p.bits[3]);
+  EXPECT_FALSE(p.bits[4] || p.bits[5]);
+  EXPECT_EQ(BoolPattern::uniform(true, 4).str(), "T..T(4)");
+  EXPECT_EQ(p.str(), "F T..T(3) F..F(2)");
+  EXPECT_EQ(BoolPattern::runs(0, 1, 1).str(), "T F");
+}
+
+TEST(Graph, BuildersAndArity) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId add = g.binary(Op::Add, Graph::out(in), Graph::lit(Value(1)));
+  const NodeId out = g.output("x", Graph::out(add));
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.node(add).inputs.size(), 2u);
+  EXPECT_TRUE(g.node(add).inputs[1].isLiteral());
+  EXPECT_EQ(g.node(out).streamName, "x");
+  EXPECT_EQ(g.findInput("a"), in);
+  EXPECT_FALSE(g.findInput("b").valid());
+}
+
+TEST(Graph, FifoZeroDepthIsPassThrough) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const PortSrc direct = g.fifo(Graph::out(in), 0);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(direct.producer, in);
+  const PortSrc buffered = g.fifo(Graph::out(in), 3);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.node(buffered.producer).fifoDepth, 3);
+  EXPECT_EQ(g.loweredCellCount(), 4u);  // input + 3 identity stages
+}
+
+TEST(Graph, WiringDestinationsWithTags) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId ctl = g.boolSeq(BoolPattern::uniform(true, 4));
+  const NodeId gate = g.gatedIdentity(Graph::out(in), Graph::out(ctl));
+  const NodeId tSide = g.identity(Graph::outT(gate));
+  const NodeId fSide = g.sink(Graph::outF(gate));
+  g.output("x", Graph::out(tSide));
+
+  Wiring w(g);
+  EXPECT_EQ(w.dests(gate).size(), 2u);
+  const auto whenTrue = w.deliveredDests(gate, true);
+  ASSERT_EQ(whenTrue.size(), 1u);
+  EXPECT_EQ(whenTrue[0].consumer, tSide);
+  const auto whenFalse = w.deliveredDests(gate, false);
+  ASSERT_EQ(whenFalse.size(), 1u);
+  EXPECT_EQ(whenFalse[0].consumer, fSide);
+  // Ungated firing delivers Always-tagged only.
+  EXPECT_EQ(w.deliveredDests(in, std::nullopt).size(), 1u);
+}
+
+TEST(Graph, ReplaceUsesRewiresAllPorts) {
+  Graph g;
+  const NodeId proxy = g.identity(Graph::lit(Value(0)));
+  const NodeId a = g.identity(Graph::out(proxy));
+  const NodeId b = g.binary(Op::Add, Graph::out(proxy), Graph::out(proxy));
+  const NodeId real = g.input("r", 4);
+  PortSrc repl = Graph::out(real);
+  repl.feedback = true;
+  g.replaceUses(proxy, repl);
+  EXPECT_EQ(g.node(a).inputs[0].producer, real);
+  EXPECT_TRUE(g.node(a).inputs[0].feedback);
+  EXPECT_EQ(g.node(b).inputs[0].producer, real);
+  EXPECT_EQ(g.node(b).inputs[1].producer, real);
+}
+
+TEST(Validate, CleanGraphPasses) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId id = g.identity(Graph::out(in));
+  g.output("x", Graph::out(id));
+  const ValidationReport rep = validate(g);
+  EXPECT_TRUE(rep.ok()) << rep.str();
+  EXPECT_TRUE(rep.warnings.empty());
+}
+
+TEST(Validate, TagFromUngatedProducerIsError) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  g.identity(Graph::outT(in));
+  EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(Validate, DuplicateStreamNames) {
+  Graph g;
+  g.input("a", 4);
+  g.input("a", 4);
+  const auto rep = validate(g);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors[0].find("duplicate input"), std::string::npos);
+}
+
+TEST(Validate, UnbrokenCycleIsError) {
+  Graph g;
+  const NodeId a = g.identity(Graph::lit(Value(0)));
+  const NodeId b = g.identity(Graph::out(a));
+  g.node(a).inputs[0] = Graph::out(b);  // a <- b <- a, no feedback flag
+  g.output("x", Graph::out(b));
+  EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(Validate, FeedbackFlagBreaksCycle) {
+  Graph g;
+  const NodeId a = g.identity(Graph::lit(Value(0)));
+  const NodeId b = g.identity(Graph::out(a));
+  PortSrc back = Graph::out(b);
+  back.feedback = true;
+  g.node(a).inputs[0] = back;
+  g.output("x", Graph::out(b));
+  EXPECT_TRUE(validate(g).ok()) << validate(g).str();
+}
+
+TEST(Validate, DanglingResultIsWarning) {
+  Graph g;
+  g.input("a", 4);  // result never consumed
+  const auto rep = validate(g);
+  EXPECT_TRUE(rep.ok());
+  ASSERT_EQ(rep.warnings.size(), 1u);
+  EXPECT_NE(rep.warnings[0].find("no destinations"), std::string::npos);
+}
+
+TEST(Validate, OrThrowThrows) {
+  Graph g;
+  g.identity(Graph::outT(g.input("a", 4)));
+  EXPECT_THROW(validateOrThrow(g), CompileError);
+}
+
+TEST(Dot, ContainsNodesEdgesAndTags) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId ctl = g.boolSeq(BoolPattern::runs(1, 2, 1), "sel");
+  const NodeId gate = g.gatedIdentity(Graph::out(in), Graph::out(ctl));
+  g.output("x", Graph::outT(gate));
+  const std::string dot = toDot(g, "test");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("IN\\na"), std::string::npos);
+  EXPECT_NE(dot.find("F T..T(2) F"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"T\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);  // gate arc
+}
+
+TEST(Stats, CountsCellsAndFifos) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const PortSrc buf = g.fifo(Graph::out(in), 3);
+  const NodeId ctl = g.boolSeq(BoolPattern::uniform(true, 4));
+  const NodeId gate = g.gatedIdentity(buf, Graph::out(ctl));
+  g.output("x", Graph::outT(gate));
+  const GraphStats s = computeStats(g);
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_EQ(s.cells, 7u);  // fifo expands to 3
+  EXPECT_EQ(s.fifoNodes, 1u);
+  EXPECT_EQ(s.fifoSlots, 3u);
+  EXPECT_EQ(s.gatedCells, 1u);
+  EXPECT_EQ(s.sources, 2u);
+  EXPECT_EQ(s.byOp.at(Op::Input), 1u);
+  EXPECT_FALSE(s.str().empty());
+}
+
+}  // namespace
+}  // namespace valpipe::dfg

@@ -1,0 +1,203 @@
+// Unit tests for the untimed Kahn interpreter: op semantics, gating, merge
+// non-strictness, sources, waves, array memory and stall behaviour.
+#include <gtest/gtest.h>
+
+#include "dfg/graph.hpp"
+#include "sim/interpreter.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::sim {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::PortSrc;
+
+std::vector<Value> reals(std::initializer_list<double> xs) {
+  std::vector<Value> out;
+  for (double x : xs) out.push_back(Value(x));
+  return out;
+}
+
+TEST(Interpreter, ArithmeticChain) {
+  // Figure 2's fragment: y = a*b in (y+2)*(y-3)
+  Graph g;
+  const NodeId a = g.input("a", 3);
+  const NodeId b = g.input("b", 3);
+  const NodeId y = g.binary(Op::Mul, Graph::out(a), Graph::out(b));
+  const NodeId p = g.binary(Op::Add, Graph::out(y), Graph::lit(Value(2.0)));
+  const NodeId q = g.binary(Op::Sub, Graph::out(y), Graph::lit(Value(3.0)));
+  const NodeId r = g.binary(Op::Mul, Graph::out(p), Graph::out(q));
+  g.output("x", Graph::out(r));
+
+  const auto res = interpret(g, {{"a", reals({1, 2, 3})},
+                                 {"b", reals({4, 5, 6})}});
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(res.outputs.at("x"),
+            reals({6 * 1, 12 * 7, 20 * 15}));
+}
+
+TEST(Interpreter, GateRoutesAndDiscards) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  dfg::BoolPattern p;
+  p.bits = {true, false, false, true};
+  const NodeId ctl = g.boolSeq(p);
+  const NodeId gate = g.gatedIdentity(Graph::out(in), Graph::out(ctl));
+  g.output("t", Graph::outT(gate));
+  // F side unconnected: those packets are discarded (jam avoidance).
+  const auto res = interpret(g, {{"a", reals({1, 2, 3, 4})}});
+  EXPECT_EQ(res.outputs.at("t"), reals({1, 4}));
+}
+
+TEST(Interpreter, GateBothSides) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  dfg::BoolPattern p;
+  p.bits = {true, false, true, false};
+  const NodeId ctl = g.boolSeq(p);
+  const NodeId gate = g.gatedIdentity(Graph::out(in), Graph::out(ctl));
+  g.output("t", Graph::outT(gate));
+  g.output("f", Graph::outF(gate));
+  const auto res = interpret(g, {{"a", reals({1, 2, 3, 4})}});
+  EXPECT_EQ(res.outputs.at("t"), reals({1, 3}));
+  EXPECT_EQ(res.outputs.at("f"), reals({2, 4}));
+}
+
+TEST(Interpreter, MergeNonStrict) {
+  // Merge can keep producing from the T side while the F side is empty.
+  Graph g;
+  const NodeId a = g.input("a", 3);
+  dfg::BoolPattern p;
+  p.bits = {true, true, true, false};
+  const NodeId ctl = g.boolSeq(p);
+  const NodeId mg = g.merge(Graph::out(ctl), Graph::out(a),
+                            Graph::lit(Value(-1.0)));
+  g.output("x", Graph::out(mg));
+  const auto res = interpret(g, {{"a", reals({1, 2, 3})}});
+  EXPECT_EQ(res.outputs.at("x"), reals({1, 2, 3, -1}));
+}
+
+TEST(Interpreter, IndexSeqAndRepeat) {
+  Graph g;
+  const NodeId seq = g.indexSeq(2, 4, 2);
+  g.output("x", Graph::out(seq));
+  const auto res = interpret(g, {});
+  std::vector<Value> want{Value(2), Value(2), Value(3),
+                          Value(3), Value(4), Value(4)};
+  EXPECT_EQ(res.outputs.at("x"), want);
+}
+
+TEST(Interpreter, WavesReplayInputs) {
+  Graph g;
+  const NodeId in = g.input("a", 2);
+  g.output("x", Graph::out(in));
+  RunOptions opts;
+  opts.waves = 3;
+  const auto res = interpret(g, {{"a", reals({7, 8})}}, opts);
+  EXPECT_EQ(res.outputs.at("x"), reals({7, 8, 7, 8, 7, 8}));
+}
+
+TEST(Interpreter, RelationalAndBooleanOps) {
+  Graph g;
+  const NodeId in = g.input("a", 3);
+  const NodeId lt = g.binary(Op::Lt, Graph::out(in), Graph::lit(Value(2.0)));
+  const NodeId nt = g.unary(Op::Not, Graph::out(lt));
+  g.output("x", Graph::out(nt));
+  const auto res = interpret(g, {{"a", reals({1, 2, 3})}});
+  EXPECT_EQ(res.outputs.at("x"),
+            (std::vector<Value>{Value(false), Value(true), Value(true)}));
+}
+
+TEST(Interpreter, ArrayMemoryStoreThenFetch) {
+  // Producer stores into AM; a fetch node streams it back out.
+  Graph g;
+  const NodeId in = g.input("a", 3);
+  const NodeId dbl = g.binary(Op::Mul, Graph::out(in), Graph::lit(Value(2)));
+  g.amStore("mem", Graph::out(dbl));
+  const NodeId fetch = g.amFetch("mem", 3);
+  g.output("x", Graph::out(fetch));
+  const auto res = interpret(g, {{"a", reals({1, 2, 3})}});
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(res.outputs.at("x"), reals({2, 4, 6}));
+  EXPECT_EQ(res.amFinal.at("mem"), reals({2, 4, 6}));
+}
+
+TEST(Interpreter, AmFetchFromPreloadedMemory) {
+  Graph g;
+  const NodeId fetch = g.amFetch("mem", 2);
+  g.output("x", Graph::out(fetch));
+  RunOptions opts;
+  opts.amInitial["mem"] = reals({5, 6});
+  const auto res = interpret(g, {}, opts);
+  EXPECT_EQ(res.outputs.at("x"), reals({5, 6}));
+}
+
+TEST(Interpreter, FeedbackLoopAccumulates) {
+  // x_0 = 0 out of the merge, then x_{k+1} = x_k + 1 fed back: 0,1,2,3.
+  Graph g;
+  const NodeId entry = g.identity(Graph::lit(Value(0)));
+  const NodeId step = g.binary(Op::Add, Graph::out(entry), Graph::lit(Value(1)));
+  dfg::BoolPattern ctlBits;
+  ctlBits.bits = {false, true, true, true};
+  const NodeId ctl = g.boolSeq(ctlBits);
+  const NodeId mg = g.merge(Graph::out(ctl), Graph::out(step),
+                            Graph::lit(Value(0)));
+  dfg::BoolPattern outBits;
+  outBits.bits = {true, true, true, false};
+  g.node(mg).gate = Graph::out(g.boolSeq(outBits));
+  PortSrc back = Graph::outT(mg);
+  back.feedback = true;
+  g.node(entry).inputs[0] = back;
+  g.output("x", Graph::out(mg));
+
+  const auto res = interpret(g, {});
+  EXPECT_EQ(res.outputs.at("x"),
+            (std::vector<Value>{Value(0), Value(1), Value(2), Value(3)}));
+}
+
+TEST(Interpreter, TypeFaultSurfacesAsValueError) {
+  Graph g;
+  const NodeId in = g.input("a", 1);
+  const NodeId bad = g.binary(Op::And, Graph::out(in), Graph::lit(Value(true)));
+  g.output("x", Graph::out(bad));
+  EXPECT_THROW(interpret(g, {{"a", reals({1})}}), ValueError);
+}
+
+TEST(Interpreter, MissingInputIsAnError) {
+  Graph g;
+  const NodeId in = g.input("a", 2);
+  g.output("x", Graph::out(in));
+  EXPECT_THROW(interpret(g, {}), valpipe::InternalError);
+}
+
+TEST(Interpreter, MaxFiringsGuard) {
+  // An identity with a literal operand is always enabled: a runaway that
+  // must trip the firing guard.
+  Graph g;
+  const NodeId forever = g.identity(Graph::lit(Value(0)));
+  g.output("x", Graph::out(forever));
+  RunOptions opts;
+  opts.maxFirings = 1000;
+  const auto res = interpret(g, {}, opts);
+  EXPECT_FALSE(res.quiescent);
+  EXPECT_FALSE(res.note.empty());
+}
+
+TEST(Interpreter, DeadlockedLoopQuiescesWithoutOutput) {
+  // A feedback loop with no initial token cannot fire at all.
+  Graph g;
+  const NodeId entry = g.identity(Graph::lit(Value(0)));
+  const NodeId step = g.binary(Op::Add, Graph::out(entry), Graph::lit(Value(1)));
+  PortSrc back = Graph::out(step);
+  back.feedback = true;
+  g.node(entry).inputs[0] = back;
+  g.output("x", Graph::out(step));
+  const auto res = interpret(g, {});
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(res.outputs.count("x"), 0u);
+}
+
+}  // namespace
+}  // namespace valpipe::sim

@@ -1,0 +1,110 @@
+// Unit tests for the Val lexer.
+#include <gtest/gtest.h>
+
+#include "val/lexer.hpp"
+
+namespace valpipe::val {
+namespace {
+
+std::vector<Token> lexOk(std::string_view src) {
+  Diagnostics diags;
+  auto toks = lex(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  return toks;
+}
+
+std::vector<Tok> kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const Token& t : lexOk(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lexOk("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::EndOfFile);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto toks = lexOk("forall foo endall for_2 iter");
+  EXPECT_EQ(toks[0].kind, Tok::KwForall);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[2].kind, Tok::KwEndall);
+  EXPECT_EQ(toks[3].kind, Tok::Ident);  // for_2 is one identifier
+  EXPECT_EQ(toks[3].text, "for_2");
+  EXPECT_EQ(toks[4].kind, Tok::KwIter);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto toks = lexOk("0 42 1000000");
+  EXPECT_EQ(toks[0].intValue, 0);
+  EXPECT_EQ(toks[1].intValue, 42);
+  EXPECT_EQ(toks[2].intValue, 1000000);
+}
+
+TEST(Lexer, RealLiterals) {
+  const auto toks = lexOk("0.25 2. 5.e2 1e3 3.5e-1");
+  EXPECT_EQ(toks[0].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(toks[0].realValue, 0.25);
+  EXPECT_EQ(toks[1].kind, Tok::RealLit);  // the paper writes "2." and "3."
+  EXPECT_DOUBLE_EQ(toks[1].realValue, 2.0);
+  EXPECT_DOUBLE_EQ(toks[2].realValue, 500.0);
+  EXPECT_DOUBLE_EQ(toks[3].realValue, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[4].realValue, 0.35);
+}
+
+TEST(Lexer, BareExponentIsNotConsumed) {
+  // "1e" must lex as integer 1 followed by identifier e.
+  const auto toks = lexOk("1e");
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "e");
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  EXPECT_EQ(kinds(":= : <= >= < > = ~= ~ & | + - * / ( ) [ ] , ;"),
+            (std::vector<Tok>{Tok::Assign, Tok::Colon, Tok::Le, Tok::Ge,
+                              Tok::Lt, Tok::Gt, Tok::Eq, Tok::Ne, Tok::Tilde,
+                              Tok::Amp, Tok::Bar, Tok::Plus, Tok::Minus,
+                              Tok::Star, Tok::Slash, Tok::LParen, Tok::RParen,
+                              Tok::LBracket, Tok::RBracket, Tok::Comma,
+                              Tok::Semicolon, Tok::EndOfFile}));
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  const auto toks = lexOk("a % this is ignored := ]\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lexOk("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.column, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(Lexer, ReportsUnknownCharacters) {
+  Diagnostics diags;
+  const auto toks = lex("a # b", diags);
+  EXPECT_TRUE(diags.hasErrors());
+  // Lexing continues past the bad character.
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, PaperExample1Fragment) {
+  const auto toks =
+      lexOk("0.25 * (C[i-1] + 2.*C[i] + C[i+1])");
+  EXPECT_EQ(toks[0].kind, Tok::RealLit);
+  EXPECT_EQ(toks[1].kind, Tok::Star);
+  EXPECT_EQ(toks[2].kind, Tok::LParen);
+  EXPECT_EQ(toks[3].text, "C");
+  EXPECT_EQ(toks[4].kind, Tok::LBracket);
+}
+
+}  // namespace
+}  // namespace valpipe::val

@@ -1,0 +1,148 @@
+// Unit and property tests for the recurrence linearity analyzer: the
+// decomposition x_i = alpha_i * x_{i-1} + beta_i must agree numerically with
+// direct evaluation of the body.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "val/eval.hpp"
+#include "val/linear.hpp"
+#include "val/parser.hpp"
+#include "val/pretty.hpp"
+
+namespace valpipe::val {
+namespace {
+
+ExprPtr expr(const std::string& src) {
+  Diagnostics diags;
+  ExprPtr e = parseExpression(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  return e;
+}
+
+const std::map<std::string, std::int64_t> kConsts{};
+
+std::optional<LinearForm> lin(const std::string& src) {
+  return decomposeLinear(expr(src), "T", "i", kConsts);
+}
+
+TEST(Linear, Example2Body) {
+  auto f = lin("A[i]*T[i-1] + B[i]");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "A[i]");
+  EXPECT_EQ(toString(f->beta), "B[i]");
+}
+
+TEST(Linear, PureBeta) {
+  auto f = lin("A[i] + 2.");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "0");
+  EXPECT_EQ(toString(f->beta), "(A[i] + 2)");
+}
+
+TEST(Linear, BareFeedback) {
+  auto f = lin("T[i-1]");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "1");
+  EXPECT_EQ(toString(f->beta), "0");
+}
+
+TEST(Linear, SumAndDifference) {
+  auto f = lin("T[i-1] + T[i-1] - A[i]");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "(1 + 1)");
+  EXPECT_EQ(toString(f->beta), "-A[i]");
+}
+
+TEST(Linear, ScalingAndDivision) {
+  auto f = lin("(T[i-1] * A[i] + B[i]) / 2.");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "(A[i] / 2)");
+  EXPECT_EQ(toString(f->beta), "(B[i] / 2)");
+}
+
+TEST(Linear, LetBindingsAreInlined) {
+  auto f = decomposeLinear(
+      expr("let P : real := A[i]*T[i-1] + B[i] in P * 2. endlet"), "T", "i",
+      kConsts);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "(A[i] * 2)");
+  EXPECT_EQ(toString(f->beta), "(B[i] * 2)");
+}
+
+TEST(Linear, ConditionalCoefficients) {
+  auto f = lin("if A[i] > 0. then T[i-1] else 2.*T[i-1] + 1. endif");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "if (A[i] > 0) then 1 else 2 endif");
+  EXPECT_EQ(toString(f->beta), "if (A[i] > 0) then 0 else 1 endif");
+}
+
+TEST(Linear, NonLinearFormsRejected) {
+  EXPECT_FALSE(lin("T[i-1] * T[i-1]").has_value());
+  EXPECT_FALSE(lin("A[i] / T[i-1]").has_value());
+  EXPECT_FALSE(lin("if T[i-1] > 0. then 1. else 2. endif").has_value());
+  EXPECT_FALSE(
+      decomposeLinear(expr("let P : real := T[i-1]*T[i-1] in P + 1. endlet"),
+                      "T", "i", kConsts)
+          .has_value());
+}
+
+TEST(Linear, XFreeConditionalIsBeta) {
+  auto f = lin("if A[i] > 0. then B[i] else 0. endif");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(toString(f->alpha), "0");
+}
+
+// Property: for random linear bodies, alpha * x + beta == body(x) for many x.
+class LinearProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearProperty, DecompositionAgreesWithDirectEvaluation) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  std::uniform_int_distribution<int> pick(0, 5);
+
+  // Build a random linear-in-T[i-1] expression bottom-up as source text.
+  std::vector<std::string> linear{"T[i-1]", "(A[i] * T[i-1])",
+                                  "(T[i-1] + B[i])"};
+  std::vector<std::string> free{"A[i]", "B[i]", "1.5", "i"};
+  std::string body = linear[rng() % linear.size()];
+  for (int step = 0; step < 4; ++step) {
+    const std::string f = free[rng() % free.size()];
+    switch (pick(rng)) {
+      case 0: body = "(" + body + " + " + f + ")"; break;
+      case 1: body = "(" + body + " - " + f + ")"; break;
+      case 2: body = "(" + f + " * " + body + ")"; break;
+      case 3: body = "(" + body + " / 2.)"; break;
+      case 4: body = "(" + body + " + " + linear[rng() % linear.size()] + ")"; break;
+      case 5:
+        body = "(if A[i] > 0. then " + body + " else " +
+               linear[rng() % linear.size()] + " endif)";
+        break;
+    }
+  }
+
+  const ExprPtr e = expr(body);
+  auto f = decomposeLinear(e, "T", "i", kConsts);
+  ASSERT_TRUE(f.has_value()) << body;
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t i = 1 + static_cast<std::int64_t>(rng() % 7);
+    const double a = val(rng), b = val(rng), x = val(rng);
+    ArrayMap arrays;
+    arrays["A"] = {0, std::vector<Value>(9, Value(a))};
+    arrays["B"] = {0, std::vector<Value>(9, Value(b))};
+    arrays["T"] = {0, std::vector<Value>(9, Value(x))};
+    const std::map<std::string, Value> scalars{{"i", Value(i)}};
+
+    const double direct = evalExpr(e, scalars, arrays).toReal();
+    const double alpha = evalExpr(f->alpha, scalars, arrays).toReal();
+    const double beta = evalExpr(f->beta, scalars, arrays).toReal();
+    EXPECT_NEAR(alpha * x + beta, direct, 1e-9)
+        << body << " at i=" << i << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace valpipe::val

@@ -1,0 +1,119 @@
+// Unit tests for lowering (FIFO expansion) and dead-code pruning.
+#include <gtest/gtest.h>
+
+#include "dfg/lower.hpp"
+#include "dfg/prune.hpp"
+#include "dfg/validate.hpp"
+#include "sim/interpreter.hpp"
+
+namespace valpipe::dfg {
+namespace {
+
+TEST(Lower, ExpandsFifoToIdentityChain) {
+  Graph g;
+  const NodeId in = g.input("a", 3);
+  const PortSrc buf = g.fifo(Graph::out(in), 4);
+  g.output("x", buf);
+  ASSERT_FALSE(isLowered(g));
+
+  const Graph low = expandFifos(g);
+  EXPECT_TRUE(isLowered(low));
+  EXPECT_EQ(low.size(), 6u);  // input + 4 ids + output
+  EXPECT_TRUE(validate(low).ok());
+
+  // Chain-internal arcs are rigid.
+  std::size_t rigid = 0;
+  for (NodeId id : low.ids())
+    for (const PortSrc& src : low.node(id).inputs)
+      if (src.isArc() && src.rigid) ++rigid;
+  EXPECT_EQ(rigid, 3u);
+}
+
+TEST(Lower, PreservesSemantics) {
+  Graph g;
+  const NodeId in = g.input("a", 3);
+  const PortSrc buf = g.fifo(Graph::out(in), 2);
+  const NodeId add = g.binary(Op::Add, buf, Graph::lit(Value(10)));
+  g.output("x", Graph::out(add));
+
+  sim::StreamMap inputs{{"a", {Value(1), Value(2), Value(3)}}};
+  const auto before = sim::interpret(g, inputs);
+  const auto after = sim::interpret(expandFifos(g), inputs);
+  EXPECT_EQ(before.outputs.at("x"), after.outputs.at("x"));
+}
+
+TEST(Lower, FlagsCarryToFirstChainArc) {
+  Graph g;
+  const NodeId a = g.identity(Graph::lit(Value(0)));
+  PortSrc looped = Graph::out(a);
+  looped.feedback = true;
+  const PortSrc buf = g.fifo(looped, 2);
+  g.node(a).inputs[0] = buf;  // close a cycle through the fifo
+  g.output("x", Graph::out(a));
+
+  const Graph low = expandFifos(g);
+  // Some arc in the lowered graph must still carry the feedback flag so the
+  // cycle stays broken for analysis.
+  bool sawFeedback = false;
+  for (NodeId id : low.ids())
+    for (const PortSrc& src : low.node(id).inputs)
+      sawFeedback = sawFeedback || (src.isArc() && src.feedback);
+  EXPECT_TRUE(sawFeedback);
+  EXPECT_TRUE(validate(low).ok()) << validate(low).str();
+}
+
+TEST(Prune, DropsUnreachableCells) {
+  Graph g;
+  const NodeId in = g.input("a", 3);
+  const NodeId used = g.identity(Graph::out(in), "used");
+  const NodeId dead1 = g.identity(Graph::out(in), "dead");
+  g.binary(Op::Mul, Graph::out(dead1), Graph::lit(Value(2)), "dead2");
+  g.output("x", Graph::out(used));
+
+  const Graph pruned = pruneDead(g);
+  EXPECT_EQ(pruned.size(), 3u);  // input, used, output
+  for (NodeId id : pruned.ids())
+    EXPECT_EQ(pruned.node(id).label.find("dead"), std::string::npos);
+}
+
+TEST(Prune, KeepsGateControlChains) {
+  Graph g;
+  const NodeId in = g.input("a", 3);
+  const NodeId ctl = g.boolSeq(BoolPattern::uniform(true, 3));
+  const NodeId gate = g.gatedIdentity(Graph::out(in), Graph::out(ctl));
+  g.output("x", Graph::outT(gate));
+  const Graph pruned = pruneDead(g);
+  EXPECT_EQ(pruned.size(), 4u);  // control source survives
+}
+
+TEST(Prune, KeepsAmStores) {
+  Graph g;
+  const NodeId in = g.input("a", 3);
+  g.amStore("mem", Graph::out(in));
+  const Graph pruned = pruneDead(g);
+  EXPECT_EQ(pruned.size(), 2u);
+}
+
+TEST(Prune, HandlesFeedbackArcs) {
+  // consumer (lower id) references producer (higher id) via feedback.
+  Graph g;
+  const NodeId entry = g.identity(Graph::lit(Value(0)));
+  const NodeId step = g.binary(Op::Add, Graph::out(entry), Graph::lit(Value(1)));
+  PortSrc back = Graph::out(step);
+  back.feedback = true;
+  g.node(entry).inputs[0] = back;
+  g.output("x", Graph::out(step));
+  const Graph pruned = pruneDead(g);
+  EXPECT_EQ(pruned.size(), 3u);
+  EXPECT_TRUE(validate(pruned).ok()) << validate(pruned).str();
+}
+
+TEST(Prune, EmptyWhenNoSinks) {
+  Graph g;
+  g.input("a", 3);
+  g.identity(Graph::lit(Value(1)));
+  EXPECT_EQ(pruneDead(g).size(), 0u);
+}
+
+}  // namespace
+}  // namespace valpipe::dfg

@@ -1,0 +1,210 @@
+// Unit tests for the timed machine engine: the §3 repetition-rate law,
+// unbalanced-graph slowdown, cycle rates k/S, latency/ack/routing models,
+// function-unit contention and packet accounting.
+#include <gtest/gtest.h>
+
+#include "dfg/graph.hpp"
+#include "dfg/lower.hpp"
+#include "machine/engine.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::machine {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::PortSrc;
+
+std::vector<Value> ramp(int n) {
+  std::vector<Value> out;
+  for (int i = 0; i < n; ++i) out.push_back(Value(static_cast<double>(i)));
+  return out;
+}
+
+MachineResult run(const Graph& g, const StreamMap& in, std::int64_t expect,
+                  MachineConfig cfg = MachineConfig::unit()) {
+  RunOptions opts;
+  opts.expectedOutputs["out"] = expect;
+  return simulate(dfg::expandFifos(g), cfg, in, opts);
+}
+
+TEST(Machine, ChainRunsAtHalfRate) {
+  // §3: an instruction's repetition period is two instruction times.
+  const int n = 256;
+  Graph g;
+  const NodeId in = g.input("a", n);
+  const NodeId i1 = g.identity(Graph::out(in));
+  const NodeId i2 = g.identity(Graph::out(i1));
+  g.output("out", Graph::out(i2));
+  const auto res = run(g, {{"a", ramp(n)}}, n);
+  EXPECT_TRUE(res.completed);
+  EXPECT_NEAR(res.steadyRate("out"), 0.5, 1e-3);
+}
+
+TEST(Machine, RateIndependentOfPipelineDepth) {
+  // "the computation rate of a pipeline is not dependent on the number of
+  // stages" (§3).
+  const int n = 256;
+  for (int depth : {1, 4, 16, 64}) {
+    Graph g;
+    PortSrc cur = Graph::out(g.input("a", n));
+    for (int d = 0; d < depth; ++d) cur = Graph::out(g.identity(cur));
+    g.output("out", cur);
+    const auto res = run(g, {{"a", ramp(n)}}, n);
+    EXPECT_NEAR(res.steadyRate("out"), 0.5, 1e-2) << "depth " << depth;
+  }
+}
+
+TEST(Machine, UnbalancedReconvergenceLosesRate) {
+  const int n = 256;
+  Graph g;
+  const NodeId in = g.input("a", n);
+  const NodeId shortPath = g.identity(Graph::out(in));
+  PortSrc lng = Graph::out(in);
+  for (int d = 0; d < 3; ++d) lng = Graph::out(g.identity(lng));
+  const NodeId join = g.binary(Op::Add, Graph::out(shortPath), lng);
+  g.output("out", Graph::out(join));
+  const auto res = run(g, {{"a", ramp(n)}}, n);
+  EXPECT_LT(res.steadyRate("out"), 0.45);
+
+  // Balancing the short path with a FIFO restores the full rate.
+  Graph g2;
+  const NodeId in2 = g2.input("a", n);
+  const PortSrc balanced = g2.fifo(Graph::out(g2.identity(Graph::out(in2))), 2);
+  PortSrc lng2 = Graph::out(in2);
+  for (int d = 0; d < 3; ++d) lng2 = Graph::out(g2.identity(lng2));
+  g2.output("out", Graph::out(g2.binary(Op::Add, balanced, lng2)));
+  const auto res2 = run(g2, {{"a", ramp(n)}}, n);
+  EXPECT_NEAR(res2.steadyRate("out"), 0.5, 1e-2);
+}
+
+TEST(Machine, CycleRateIsTokensOverStages) {
+  // A 3-cell loop carrying one packet runs at 1/3 (Fig. 7's limit).
+  const int n = 240;
+  Graph g;
+  const NodeId entry = g.identity(Graph::lit(Value(0)));
+  const NodeId step = g.binary(Op::Add, Graph::out(entry), Graph::lit(Value(1)));
+  dfg::BoolPattern ctlBits, outBits;
+  for (int i = 0; i <= n; ++i) {
+    ctlBits.bits.push_back(i != 0);
+    outBits.bits.push_back(i != n);
+  }
+  const NodeId ctl = g.boolSeq(ctlBits);
+  const NodeId mg = g.merge(Graph::out(ctl), Graph::out(step), Graph::lit(Value(0)));
+  g.node(mg).gate = Graph::out(g.boolSeq(outBits));
+  PortSrc back = Graph::outT(mg);
+  back.feedback = true;
+  g.node(entry).inputs[0] = back;
+  g.output("out", Graph::out(mg));
+  const auto res = run(g, {}, n + 1);
+  EXPECT_NEAR(res.steadyRate("out"), 1.0 / 3.0, 5e-3);
+}
+
+TEST(Machine, ExecLatencyStretchesPeriod) {
+  const int n = 128;
+  Graph g;
+  const NodeId in = g.input("a", n);
+  const NodeId f = g.binary(Op::Mul, Graph::out(in), Graph::lit(Value(2.0)));
+  g.output("out", Graph::out(f));
+  MachineConfig cfg;
+  cfg.execLatency[static_cast<int>(dfg::FuClass::Fpu)] = 4;
+  const auto res = run(g, {{"a", ramp(n)}}, n, cfg);
+  // Non-pipelined 4-cycle FPU op: period L+1 = 5.
+  EXPECT_NEAR(res.steadyRate("out"), 1.0 / 5.0, 2e-2);
+}
+
+TEST(Machine, FuContentionThrottles) {
+  const int n = 128;
+  Graph g;
+  const NodeId a = g.input("a", n);
+  const NodeId b = g.input("b", n);
+  const NodeId m1 = g.binary(Op::Mul, Graph::out(a), Graph::lit(Value(2.0)));
+  const NodeId m2 = g.binary(Op::Mul, Graph::out(b), Graph::lit(Value(3.0)));
+  const NodeId s = g.binary(Op::Add, Graph::out(m1), Graph::out(m2));
+  g.output("out", Graph::out(s));
+
+  MachineConfig one;
+  one.fuUnits[static_cast<int>(dfg::FuClass::Fpu)] = 1;
+  one.execLatency[static_cast<int>(dfg::FuClass::Fpu)] = 2;
+  const auto starved = run(g, {{"a", ramp(n)}, {"b", ramp(n)}}, n, one);
+
+  MachineConfig four = one;
+  four.fuUnits[static_cast<int>(dfg::FuClass::Fpu)] = 4;
+  const auto fed = run(g, {{"a", ramp(n)}, {"b", ramp(n)}}, n, four);
+  EXPECT_GT(fed.steadyRate("out"), starved.steadyRate("out") * 1.3);
+  EXPECT_TRUE(starved.completed);
+}
+
+TEST(Machine, RoutingAndAckDelaysSlowTheClock) {
+  const int n = 128;
+  Graph g;
+  const NodeId in = g.input("a", n);
+  g.output("out", Graph::out(g.identity(Graph::out(in))));
+  MachineConfig slow;
+  slow.routeDelay = 2;
+  slow.ackDelay = 2;
+  const auto res = run(g, {{"a", ramp(n)}}, n, slow);
+  EXPECT_TRUE(res.completed);
+  EXPECT_LT(res.steadyRate("out"), 0.34);
+  EXPECT_GT(res.steadyRate("out"), 0.15);
+}
+
+TEST(Machine, PacketAccounting) {
+  const int n = 16;
+  Graph g;
+  const NodeId in = g.input("a", n);
+  const NodeId f = g.binary(Op::Mul, Graph::out(in), Graph::lit(Value(2.0)));
+  g.amStore("mem", Graph::out(f));
+  const NodeId fetch = g.amFetch("mem", n);
+  g.output("out", Graph::out(fetch));
+  const auto res = run(g, {{"a", ramp(n)}}, n);
+  ASSERT_TRUE(res.completed);
+  const auto& pk = res.packets;
+  // op packets: n input + n mul + n store + n fetch + n output firings.
+  EXPECT_EQ(pk.opPacketsTotal(), static_cast<std::uint64_t>(5 * n));
+  EXPECT_EQ(pk.opPacketsByClass[static_cast<int>(dfg::FuClass::Am)],
+            static_cast<std::uint64_t>(2 * n));
+  EXPECT_DOUBLE_EQ(pk.amShare(), 0.4);
+  // result packets: in->mul, mul->store, fetch->out = 3n deliveries.
+  EXPECT_EQ(pk.resultPackets, static_cast<std::uint64_t>(3 * n));
+  EXPECT_EQ(pk.ackPackets, static_cast<std::uint64_t>(3 * n));
+}
+
+TEST(Machine, DeadlockReported) {
+  Graph g;
+  const NodeId entry = g.identity(Graph::lit(Value(0)));
+  const NodeId step = g.binary(Op::Add, Graph::out(entry), Graph::lit(Value(1)));
+  PortSrc back = Graph::out(step);
+  back.feedback = true;
+  g.node(entry).inputs[0] = back;  // loop with no initial token
+  g.output("out", Graph::out(step));
+  RunOptions opts;
+  opts.expectedOutputs["out"] = 4;
+  const auto res = simulate(dfg::expandFifos(g), MachineConfig::unit(), {}, opts);
+  EXPECT_FALSE(res.completed);
+  EXPECT_NE(res.note.find("deadlock"), std::string::npos);
+}
+
+TEST(Machine, RejectsUnloweredGraphs) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  g.output("out", g.fifo(Graph::out(in), 2));
+  EXPECT_THROW(simulate(g, MachineConfig::unit(), {{"a", ramp(4)}}, {}),
+               InternalError);
+}
+
+TEST(Machine, OutputTimesAreMonotone) {
+  const int n = 64;
+  Graph g;
+  const NodeId in = g.input("a", n);
+  g.output("out", Graph::out(in));
+  const auto res = run(g, {{"a", ramp(n)}}, n);
+  const auto& times = res.outputTimes.at("out");
+  ASSERT_EQ(times.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 1; i < times.size(); ++i)
+    EXPECT_GT(times[i], times[i - 1]);
+}
+
+}  // namespace
+}  // namespace valpipe::machine

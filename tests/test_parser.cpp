@@ -1,0 +1,183 @@
+// Unit tests for the Val parser: expression shapes, block shapes, the
+// paper's examples, and error reporting.
+#include <gtest/gtest.h>
+
+#include "val/parser.hpp"
+#include "val/pretty.hpp"
+
+#include "testing.hpp"
+
+namespace valpipe::val {
+namespace {
+
+ExprPtr expr(const std::string& src) {
+  Diagnostics diags;
+  ExprPtr e = parseExpression(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  return e;
+}
+
+TEST(Parser, Precedence) {
+  EXPECT_EQ(toString(expr("a + b * c")), "(a + (b * c))");
+  EXPECT_EQ(toString(expr("a * b + c")), "((a * b) + c)");
+  EXPECT_EQ(toString(expr("a - b - c")), "((a - b) - c)");
+  EXPECT_EQ(toString(expr("a < b + 1")), "(a < (b + 1))");
+  EXPECT_EQ(toString(expr("p & q | r")), "((p & q) | r)");
+  EXPECT_EQ(toString(expr("(i = 0) | (i = 9)")), "((i = 0) | (i = 9))");
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(toString(expr("-a * b")), "(-a * b)");
+  EXPECT_EQ(toString(expr("~(p & q)")), "~(p & q)");
+  EXPECT_EQ(toString(expr("-(A[i] + B[i])")), "-(A[i] + B[i])");
+}
+
+TEST(Parser, ArrayIndexing) {
+  EXPECT_EQ(toString(expr("C[i-1]")), "C[(i - 1)]");
+  EXPECT_EQ(toString(expr("C[i+1] * C[i]")), "(C[(i + 1)] * C[i])");
+}
+
+TEST(Parser, IfExpression) {
+  EXPECT_EQ(toString(expr("if a then 1 else 2 endif")),
+            "if a then 1 else 2 endif");
+}
+
+TEST(Parser, LetExpression) {
+  const ExprPtr e = expr("let y : real := a * b in (y + 2.) * (y - 3.) endlet");
+  ASSERT_EQ(e->kind, Expr::Kind::Let);
+  ASSERT_EQ(e->defs.size(), 1u);
+  EXPECT_EQ(e->defs[0].name, "y");
+  ASSERT_TRUE(e->defs[0].declaredType.has_value());
+  EXPECT_EQ(e->defs[0].declaredType->scalar, Scalar::Real);
+}
+
+TEST(Parser, PaperExample1Module) {
+  Module m = parseModuleOrThrow(valpipe::testing::example1Source(8));
+  EXPECT_EQ(m.functionName, "ex1");
+  EXPECT_EQ(m.consts.at("m"), 8);
+  ASSERT_EQ(m.params.size(), 2u);
+  EXPECT_EQ(m.params[0].name, "B");
+  EXPECT_TRUE(m.params[0].type.isArray);
+  ASSERT_TRUE(m.params[0].type.range.has_value());
+  EXPECT_EQ(*m.params[0].type.range, (Range{0, 9}));
+  ASSERT_EQ(m.blocks.size(), 1u);
+  ASSERT_TRUE(m.blocks[0].isForall());
+  const ForallBlock& fb = m.blocks[0].forall();
+  EXPECT_EQ(fb.indexVar, "i");
+  ASSERT_EQ(fb.defs.size(), 1u);
+  EXPECT_EQ(fb.defs[0].name, "P");
+}
+
+TEST(Parser, PaperExample2Module) {
+  Module m = parseModuleOrThrow(valpipe::testing::example2Source(8));
+  ASSERT_EQ(m.blocks.size(), 1u);
+  ASSERT_FALSE(m.blocks[0].isForall());
+  const ForIterBlock& fi = m.blocks[0].forIter();
+  EXPECT_EQ(fi.indexVar, "i");
+  EXPECT_EQ(fi.accVar, "T");
+  ASSERT_EQ(fi.defs.size(), 1u);
+  EXPECT_EQ(fi.defs[0].name, "P");
+  EXPECT_EQ(toString(fi.appendValue), "P");
+  // Constants stay symbolic in the AST; they fold during checking.
+  EXPECT_EQ(toString(fi.cond), "(i < (m + 1))");
+}
+
+TEST(Parser, MultiBlockLetBody) {
+  Module m = parseModuleOrThrow(valpipe::testing::figure3Source(8));
+  ASSERT_EQ(m.blocks.size(), 2u);
+  EXPECT_EQ(m.blocks[0].name, "A");
+  EXPECT_EQ(m.blocks[1].name, "X");
+  EXPECT_EQ(m.resultName, "X");
+}
+
+TEST(Parser, ManifestConstantFolding) {
+  Module m = parseModuleOrThrow(R"(
+const n = 4
+const m = 2 * n + 1
+function f(A: array[real] [0, m] returns array[real])
+  forall i in [0, m] construct A[i] endall
+endfun
+)");
+  EXPECT_EQ(m.consts.at("m"), 9);
+  EXPECT_EQ(*m.params[0].type.range, (Range{0, 9}));
+}
+
+TEST(Parser, IterArmOrderIsFlexible) {
+  // i := i + 1 may come before the append.
+  Module m = parseModuleOrThrow(R"(
+const m = 4
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do if i < m + 1 then iter i := i + 1; T := T[i: A[i]] enditer
+     else T endif
+  endfor
+endfun
+)");
+  EXPECT_FALSE(m.blocks[0].isForall());
+}
+
+// --- error cases ---
+
+void expectParseError(const std::string& src, const std::string& needle) {
+  Diagnostics diags;
+  parseModule(src, diags);
+  ASSERT_TRUE(diags.hasErrors()) << "expected a parse error";
+  EXPECT_NE(diags.str().find(needle), std::string::npos) << diags.str();
+}
+
+TEST(ParserErrors, MissingEndall) {
+  expectParseError(
+      "function f(A: array[real] [0,1] returns array[real])\n"
+      "forall i in [0, 1] construct A[i] endfun",
+      "expected");
+}
+
+TEST(ParserErrors, NonManifestRange) {
+  expectParseError(
+      "function f(A: array[real] [0, k] returns array[real])\n"
+      "forall i in [0, 1] construct A[i] endall endfun",
+      "not a manifest constant");
+}
+
+TEST(ParserErrors, BadIterStep) {
+  expectParseError(R"(
+const m = 4
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do if i < m then iter T := T[i: A[i]]; i := i + 2 enditer
+     else T endif
+  endfor
+endfun
+)",
+                   "must advance");
+}
+
+TEST(ParserErrors, ForIterResultMustBeLoopArray) {
+  expectParseError(R"(
+const m = 4
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do if i < m then iter T := T[i: A[i]]; i := i + 1 enditer
+     else A endif
+  endfor
+endfun
+)",
+                   "result must be the loop array");
+}
+
+TEST(ParserErrors, DuplicateConstant) {
+  expectParseError(
+      "const m = 1\nconst m = 2\n"
+      "function f(A: array[real] [0, m] returns array[real])\n"
+      "forall i in [0, m] construct A[i] endall endfun",
+      "duplicate constant");
+}
+
+TEST(ParserErrors, IndexingNonIdentifier) {
+  Diagnostics diags;
+  parseExpression("(a + b)[i]", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+}  // namespace
+}  // namespace valpipe::val

@@ -1,0 +1,159 @@
+// Unit tests for path/balance analysis: topological order, phase-aware
+// balance checking (Fig. 4 skew), and feedback-cycle stage counting.
+#include <gtest/gtest.h>
+
+#include "analysis/paths.hpp"
+#include "dfg/graph.hpp"
+
+namespace valpipe::analysis {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::PortSrc;
+
+TEST(Paths, ArcsIncludeGateArcsAndLengths) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId ctl = g.boolSeq(dfg::BoolPattern::uniform(true, 4));
+  const NodeId gate = g.gatedIdentity(Graph::out(in), Graph::out(ctl));
+  const PortSrc buf = g.fifo(Graph::outT(gate), 3);
+  g.output("x", buf);
+
+  const auto all = arcs(g);
+  ASSERT_EQ(all.size(), 4u);
+  // Arc into the FIFO carries the FIFO's depth.
+  bool sawFifoArc = false;
+  for (const Arc& a : all)
+    if (g.node(a.to).op == Op::Fifo) {
+      EXPECT_EQ(a.length, 3);
+      sawFifoArc = true;
+    }
+  EXPECT_TRUE(sawFifoArc);
+}
+
+TEST(Paths, PhaseLengthIncludesProducerShift) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId gate = g.identity(Graph::out(in));
+  g.node(gate).phaseShift = -2;
+  const NodeId use = g.identity(Graph::out(gate));
+  g.output("x", Graph::out(use));
+  for (const Arc& a : arcs(g)) {
+    if (a.from == gate) {
+      EXPECT_EQ(a.phaseLength, 1 - 4);
+    }
+  }
+}
+
+TEST(Paths, TopoOrderAndCycleDetection) {
+  Graph g;
+  const NodeId a = g.identity(Graph::lit(Value(0)));
+  const NodeId b = g.identity(Graph::out(a));
+  ASSERT_TRUE(topoOrder(g).has_value());
+
+  g.node(a).inputs[0] = Graph::out(b);
+  EXPECT_FALSE(topoOrder(g).has_value());
+
+  PortSrc back = Graph::out(b);
+  back.feedback = true;
+  g.node(a).inputs[0] = back;
+  EXPECT_TRUE(topoOrder(g).has_value());
+}
+
+TEST(Paths, LongestDepths) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId i1 = g.identity(Graph::out(in));
+  const NodeId i2 = g.identity(Graph::out(i1));
+  const NodeId join = g.binary(Op::Add, Graph::out(in), Graph::out(i2));
+  const auto d = longestDepths(g);
+  EXPECT_EQ(d[in.index], 0);
+  EXPECT_EQ(d[i1.index], 1);
+  EXPECT_EQ(d[i2.index], 2);
+  EXPECT_EQ(d[join.index], 3);
+}
+
+TEST(Balance, EqualPathsAreBalanced) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId l = g.identity(Graph::out(in));
+  const NodeId r = g.identity(Graph::out(in));
+  g.binary(Op::Add, Graph::out(l), Graph::out(r));
+  EXPECT_TRUE(checkBalanced(g).balanced);
+}
+
+TEST(Balance, ReconvergentMismatchDetected) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId l = g.identity(Graph::out(in));
+  const NodeId l2 = g.identity(Graph::out(l));
+  const NodeId r = g.identity(Graph::out(in));
+  g.binary(Op::Add, Graph::out(l2), Graph::out(r));
+  const auto rep = checkBalanced(g);
+  EXPECT_FALSE(rep.balanced);
+  EXPECT_FALSE(rep.reason.empty());
+}
+
+TEST(Balance, FifoSlackRestoresBalance) {
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId l = g.identity(Graph::out(in));
+  const NodeId l2 = g.identity(Graph::out(l));
+  const NodeId r = g.identity(Graph::out(in));
+  const PortSrc buffered = g.fifo(Graph::out(r), 1);
+  g.binary(Op::Add, Graph::out(l2), buffered);
+  EXPECT_TRUE(checkBalanced(g).balanced) << checkBalanced(g).reason;
+}
+
+TEST(Balance, IndependentSourcesMayFloat) {
+  // Unequal-length paths from *different* self-timed sources are fine.
+  Graph g;
+  const NodeId a = g.input("a", 4);
+  const NodeId b = g.input("b", 4);
+  const NodeId b1 = g.identity(Graph::out(b));
+  const NodeId b2 = g.identity(Graph::out(b1));
+  g.binary(Op::Add, Graph::out(a), Graph::out(b2));
+  EXPECT_TRUE(checkBalanced(g).balanced);
+}
+
+TEST(Balance, PhaseShiftCountsAsSkew) {
+  // Same producer, two gates with different index shifts, zipped: unbalanced
+  // until the skew is buffered (the Fig. 4 situation).
+  Graph g;
+  const NodeId in = g.input("a", 4);
+  const NodeId g0 = g.identity(Graph::out(in));
+  const NodeId g1 = g.identity(Graph::out(in));
+  g.node(g1).phaseShift = 1;
+  const NodeId add = g.binary(Op::Add, Graph::out(g0), Graph::out(g1));
+  EXPECT_FALSE(checkBalanced(g).balanced);
+
+  // Buffering the early stream by 2 cells (= 2*shift) rebalances.
+  g.node(add).inputs[0] = g.fifo(Graph::out(g0), 2);
+  EXPECT_TRUE(checkBalanced(g).balanced) << checkBalanced(g).reason;
+}
+
+TEST(Cycles, FeedbackCycleStagesCounted) {
+  // Todd-style 3-cell cycle: entry -> step -> merge -> (feedback) entry.
+  Graph g;
+  const NodeId entry = g.identity(Graph::lit(Value(0)));
+  const NodeId step = g.binary(Op::Add, Graph::out(entry), Graph::lit(Value(1)));
+  const NodeId ctl = g.boolSeq(dfg::BoolPattern::runs(1, 3, 0));
+  const NodeId merge = g.merge(Graph::out(ctl), Graph::out(step),
+                               Graph::lit(Value(0)));
+  g.node(merge).gate = Graph::out(g.boolSeq(dfg::BoolPattern::runs(0, 3, 1)));
+  PortSrc back = Graph::outT(merge);
+  back.feedback = true;
+  g.node(entry).inputs[0] = back;
+  g.output("x", Graph::out(merge));
+
+  const auto cycles = feedbackCycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].stages, 3);
+  EXPECT_EQ(cycles[0].from, merge);
+  EXPECT_EQ(cycles[0].to, entry);
+}
+
+}  // namespace
+}  // namespace valpipe::analysis

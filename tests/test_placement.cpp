@@ -1,0 +1,121 @@
+// Tests for instruction-cell placement onto processing elements and the
+// distribution-network traffic/delay model (Fig. 1).
+#include <gtest/gtest.h>
+
+#include "dfg/lower.hpp"
+#include "machine/engine.hpp"
+#include "machine/placement.hpp"
+#include "testing.hpp"
+
+namespace valpipe::machine {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+
+std::vector<Value> ramp(int n) {
+  std::vector<Value> out;
+  for (int i = 0; i < n; ++i) out.push_back(Value(static_cast<double>(i)));
+  return out;
+}
+
+Graph chain(int depth, int n) {
+  Graph g;
+  dfg::PortSrc cur = Graph::out(g.input("a", n));
+  for (int d = 0; d < depth; ++d) cur = Graph::out(g.identity(cur));
+  g.output("out", cur);
+  return g;
+}
+
+TEST(Placement, RoundRobinSpreadsCells) {
+  const Graph g = chain(6, 8);  // 8 cells total
+  const Placement p = assignCells(g, 4, PlacementStrategy::RoundRobin);
+  ASSERT_EQ(p.peOf.size(), g.size());
+  std::vector<int> load(4, 0);
+  for (int pe : p.peOf) ++load[pe];
+  for (int l : load) EXPECT_EQ(l, 2);
+  // A chain placed round-robin crosses PEs on every arc.
+  EXPECT_DOUBLE_EQ(crossPeArcFraction(g, p), 1.0);
+}
+
+TEST(Placement, ContiguousKeepsNeighboursTogether) {
+  const Graph g = chain(6, 8);
+  const Placement p = assignCells(g, 2, PlacementStrategy::Contiguous);
+  // Only one arc crosses the chunk boundary.
+  EXPECT_NEAR(crossPeArcFraction(g, p), 1.0 / 7.0, 1e-12);
+}
+
+TEST(Placement, SinglePeHasNoNetworkTraffic) {
+  const Graph g = chain(4, 8);
+  const Placement p = assignCells(g, 1, PlacementStrategy::RoundRobin);
+  EXPECT_DOUBLE_EQ(crossPeArcFraction(g, p), 0.0);
+}
+
+TEST(Placement, NetworkPacketsCounted) {
+  const int n = 64;
+  Graph g = chain(4, n);
+  RunOptions opts;
+  opts.expectedOutputs["out"] = n;
+  opts.placement = assignCells(g, 3, PlacementStrategy::RoundRobin);
+  const auto res =
+      simulate(g, MachineConfig::unit(), {{"a", ramp(n)}}, opts);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.packets.networkResultPackets, 0u);
+  EXPECT_LE(res.packets.networkResultPackets, res.packets.resultPackets);
+  EXPECT_GT(res.packets.networkShare(), 0.9);  // chain + round-robin
+  // Per-PE firing counts add up to all firings.
+  std::uint64_t sum = 0;
+  for (auto c : res.pePackets) sum += c;
+  EXPECT_GT(sum, 0u);
+}
+
+TEST(Placement, InterPeDelayStretchesThePipe) {
+  const int n = 256;
+  Graph g = chain(6, n);
+  MachineConfig cfg;
+  cfg.interPeDelay = 3;
+
+  RunOptions scattered;
+  scattered.expectedOutputs["out"] = n;
+  scattered.placement = assignCells(g, 4, PlacementStrategy::RoundRobin);
+  const auto slow = simulate(g, cfg, {{"a", ramp(n)}}, scattered);
+
+  RunOptions local;
+  local.expectedOutputs["out"] = n;
+  local.placement = assignCells(g, 1, PlacementStrategy::RoundRobin);
+  const auto fast = simulate(g, cfg, {{"a", ramp(n)}}, local);
+
+  ASSERT_TRUE(slow.completed && fast.completed);
+  // The inter-PE hop slows the acknowledge round trip on every arc.
+  EXPECT_LT(slow.steadyRate("out"), fast.steadyRate("out"));
+  EXPECT_NEAR(fast.steadyRate("out"), 0.5, 1e-2);
+}
+
+TEST(Placement, ResultsUnaffectedByPlacement) {
+  const int m = 24;
+  val::Module mod = core::frontend(testing::example1Source(m));
+  val::ArrayMap in;
+  in["B"] = testing::randomArray({0, m + 1}, 71);
+  in["C"] = testing::randomArray({0, m + 1}, 72);
+  const auto ref = val::evaluate(mod, in);
+  const auto prog = core::compile(mod);
+  dfg::Graph lowered = dfg::expandFifos(prog.graph);
+
+  for (auto strategy :
+       {PlacementStrategy::RoundRobin, PlacementStrategy::Contiguous}) {
+    RunOptions opts;
+    opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+    opts.placement = assignCells(lowered, 5, strategy);
+    MachineConfig cfg;
+    cfg.interPeDelay = 2;
+    const auto res =
+        simulate(lowered, cfg, testing::inputsFor(prog, in), opts);
+    ASSERT_TRUE(res.completed) << res.note;
+    testing::expectStreamNear(res.outputs.at(prog.outputName),
+                              ref.result.elems, 0.0, toString(strategy));
+  }
+}
+
+}  // namespace
+}  // namespace valpipe::machine

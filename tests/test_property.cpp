@@ -1,0 +1,102 @@
+// Property tests over randomly generated pipe-structured programs: every
+// compiled graph must validate, balance, reproduce the reference evaluator's
+// results in both engines, and — per Theorem 4 — sustain (near) full rate
+// when all blocks are primitive/simple.
+#include <gtest/gtest.h>
+
+#include "analysis/paths.hpp"
+#include "dfg/validate.hpp"
+#include "generators.hpp"
+#include "val/classify.hpp"
+#include "testing.hpp"
+
+namespace valpipe {
+namespace {
+
+using core::BalanceMode;
+using core::CompileOptions;
+using testing::GenOptions;
+using testing::ProgramGen;
+using testing::randomArray;
+
+val::ArrayMap genInputs(const val::Module& mod, unsigned seed) {
+  val::ArrayMap in;
+  unsigned k = 0;
+  for (const val::Param& p : mod.params)
+    in[p.name] = randomArray(*p.type.range, seed + 100 * k++, 0.0, 1.0);
+  return in;
+}
+
+class RandomProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgram, CompiledGraphMatchesReferenceAndBalances) {
+  GenOptions gopts;
+  gopts.blocks = 1 + GetParam() % 3;
+  gopts.m = 10 + GetParam() % 7;
+  ProgramGen gen(static_cast<unsigned>(GetParam()) * 1337 + 7, gopts);
+  const std::string src = gen.module();
+  SCOPED_TRACE(src);
+
+  val::Module mod = core::frontend(src);
+  ASSERT_TRUE(val::isPipeStructured(mod));
+  const val::ArrayMap in = genInputs(mod, GetParam());
+  const auto ref = val::evaluate(mod, in);
+
+  const auto prog = core::compile(mod);
+  EXPECT_TRUE(dfg::validate(prog.graph).ok());
+  const auto bal = analysis::checkBalanced(prog.graph);
+  EXPECT_TRUE(bal.balanced) << bal.reason;
+
+  testing::checkInterpreted(prog, in, ref.result.elems, 1e-7);
+  testing::checkMachine(prog, in, ref.result.elems, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(0, 40));
+
+class RandomProgramRate : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramRate, SimpleProgramsSustainFullRate) {
+  GenOptions gopts;
+  gopts.blocks = 2;
+  gopts.m = 96;
+  gopts.linearOnly = true;
+  ProgramGen gen(static_cast<unsigned>(GetParam()) * 7331 + 3, gopts);
+  const std::string src = gen.module();
+  SCOPED_TRACE(src);
+
+  val::Module mod = core::frontend(src);
+  const val::ArrayMap in = genInputs(mod, GetParam() + 999);
+  const auto ref = val::evaluate(mod, in);
+  const auto prog = core::compile(mod);
+  // Theorem 4: fully pipelined whole-program rate (generously bounded; short
+  // streams have wave-boundary transients).
+  testing::checkMachine(prog, in, ref.result.elems, 1e-7, 2, 0.40, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramRate, ::testing::Range(0, 12));
+
+class RandomBalanceModes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBalanceModes, OptimalNeverWorseAndBothBalance) {
+  GenOptions gopts;
+  gopts.blocks = 2 + GetParam() % 2;
+  gopts.m = 14;
+  ProgramGen gen(static_cast<unsigned>(GetParam()) * 31 + 17, gopts);
+  const std::string src = gen.module();
+  SCOPED_TRACE(src);
+
+  val::Module mod = core::frontend(src);
+  CompileOptions lp, opt;
+  lp.balanceMode = BalanceMode::LongestPath;
+  opt.balanceMode = BalanceMode::Optimal;
+  const auto a = core::compile(mod, lp);
+  const auto b = core::compile(mod, opt);
+  EXPECT_TRUE(analysis::checkBalanced(a.graph).balanced);
+  EXPECT_TRUE(analysis::checkBalanced(b.graph).balanced);
+  EXPECT_LE(b.balance.buffersInserted, a.balance.buffersInserted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBalanceModes, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace valpipe

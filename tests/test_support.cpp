@@ -1,0 +1,80 @@
+// Unit tests for the support library: diagnostics, invariant checks, text
+// helpers.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace valpipe {
+namespace {
+
+TEST(Diagnostics, CollectsAndFormats) {
+  Diagnostics d;
+  EXPECT_FALSE(d.hasErrors());
+  d.warning({1, 2}, "heads up");
+  EXPECT_FALSE(d.hasErrors());
+  d.error({3, 4}, "boom");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.errorCount(), 1u);
+  ASSERT_EQ(d.all().size(), 2u);
+  EXPECT_NE(d.str().find("warning at 1:2: heads up"), std::string::npos);
+  EXPECT_NE(d.str().find("error at 3:4: boom"), std::string::npos);
+}
+
+TEST(Diagnostics, InvalidLocOmitted) {
+  Diagnostics d;
+  d.error({}, "no position");
+  EXPECT_EQ(d.str(), "error: no position");
+}
+
+TEST(SourceLoc, Validity) {
+  EXPECT_FALSE(SourceLoc{}.valid());
+  EXPECT_TRUE((SourceLoc{1, 1}).valid());
+  EXPECT_EQ((SourceLoc{7, 3}).str(), "7:3");
+  EXPECT_EQ(SourceLoc{}.str(), "<no-loc>");
+}
+
+TEST(Check, MacrosThrowInternalError) {
+  EXPECT_NO_THROW(VALPIPE_CHECK(1 + 1 == 2));
+  EXPECT_THROW(VALPIPE_CHECK(false), InternalError);
+  try {
+    VALPIPE_CHECK_MSG(false, "context here");
+    FAIL();
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("context here"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_support.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(Text, FmtDouble) {
+  EXPECT_EQ(fmtDouble(0.5), "0.5");
+  EXPECT_EQ(fmtDouble(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(fmtDouble(12345.0, 3), "1.23e+04");
+}
+
+TEST(Text, TableLaysOutColumns) {
+  TextTable t({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Text, TableRejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), InternalError);
+}
+
+}  // namespace
+}  // namespace valpipe

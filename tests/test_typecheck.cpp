@@ -1,0 +1,218 @@
+// Unit tests for the type checker: scalar typing, range resolution, the
+// flow-sensitive (active-index) array bounds analysis, and error reporting.
+#include <gtest/gtest.h>
+
+#include "val/parser.hpp"
+#include "val/typecheck.hpp"
+
+#include "testing.hpp"
+
+namespace valpipe::val {
+namespace {
+
+Module check(const std::string& src) {
+  Module m = parseModuleOrThrow(src);
+  typecheckOrThrow(m);
+  return m;
+}
+
+void expectTypeError(const std::string& src, const std::string& needle) {
+  Module m = parseModuleOrThrow(src);
+  Diagnostics diags;
+  typecheck(m, diags);
+  ASSERT_TRUE(diags.hasErrors()) << "expected a type error";
+  EXPECT_NE(diags.str().find(needle), std::string::npos) << diags.str();
+}
+
+TEST(Typecheck, Example1Resolves) {
+  Module m = check(valpipe::testing::example1Source(8));
+  ASSERT_TRUE(m.blocks[0].type.range.has_value());
+  EXPECT_EQ(*m.blocks[0].type.range, (Range{0, 9}));
+}
+
+TEST(Typecheck, Example2ResolvesLoopBound) {
+  Module m = check(valpipe::testing::example2Source(8));
+  const ForIterBlock& fi = m.blocks[0].forIter();
+  ASSERT_TRUE(fi.lastIndex.has_value());
+  EXPECT_EQ(*fi.lastIndex, 8);
+  EXPECT_EQ(*m.blocks[0].type.range, (Range{0, 8}));
+}
+
+TEST(Typecheck, GuardedBoundaryAccessIsAccepted) {
+  // Example 1's C[i-1] under the boundary conditional must not be flagged —
+  // the flow-sensitive active set excludes i = 0 in the else arm.
+  check(valpipe::testing::example1Source(4));
+}
+
+TEST(Typecheck, UnguardedOutOfRangeAccessIsRejected) {
+  expectTypeError(R"(
+const m = 4
+function f(C: array[real] [0, m] returns array[real])
+  forall i in [0, m] construct C[i-1] endall
+endfun
+)",
+                  "outside");
+}
+
+TEST(Typecheck, GuardWithWrongPolarityIsRejected) {
+  expectTypeError(R"(
+const m = 4
+function f(C: array[real] [0, m] returns array[real])
+  forall i in [0, m]
+  construct if i = 0 then C[i-1] else C[i] endif
+endall
+endfun
+)",
+                  "outside");
+}
+
+TEST(Typecheck, IntegerWidensToReal) {
+  // T : array[real] := [0: 0] assigns integer 0 into a real array.
+  check(valpipe::testing::example2Source(4));
+}
+
+TEST(Typecheck, RealToIntegerIsRejected) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[integer] [0, m] returns array[integer])
+  forall i in [0, m] construct 2.5 endall
+endfun
+)",
+                  "accumulation has type real");
+}
+
+TEST(Typecheck, ConditionMustBeBoolean) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  forall i in [0, m] construct if i then A[i] else 0. endif endall
+endfun
+)",
+                  "condition must be boolean");
+}
+
+TEST(Typecheck, ArmsMustUnify) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  forall i in [0, m] construct if i = 0 then true else A[i] endif endall
+endfun
+)",
+                  "incompatible types");
+}
+
+TEST(Typecheck, UndefinedNameIsReported) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  forall i in [0, m] construct A[i] * gamma endall
+endfun
+)",
+                  "undefined name 'gamma'");
+}
+
+TEST(Typecheck, ArrayUsedAsScalarIsReported) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  forall i in [0, m] construct A endall
+endfun
+)",
+                  "used as a scalar");
+}
+
+TEST(Typecheck, BlocksSeeOnlyEarlierBlocks) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  let
+    X : array[real] := forall i in [0, m] construct Y[i] endall
+    Y : array[real] := forall i in [0, m] construct A[i] endall
+  in X endlet
+endfun
+)",
+                  "not a known array");
+}
+
+TEST(Typecheck, ResultMustBeABlock) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  let X : array[real] := forall i in [0, m] construct A[i] endall
+  in A endlet
+endfun
+)",
+                  "does not name a block");
+}
+
+TEST(Typecheck, DeclaredBlockRangeMustMatch) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  let X : array[real] [0, 2] := forall i in [0, m] construct A[i] endall
+  in X endlet
+endfun
+)",
+                  "declares range");
+}
+
+TEST(Typecheck, ArrayParamNeedsRange) {
+  expectTypeError(R"(
+function f(A: array[real] returns array[real])
+  forall i in [0, 1] construct A[i] endall
+endfun
+)",
+                  "needs a manifest index range");
+}
+
+TEST(Typecheck, ForIterInitMustAbutInitialIndex) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [2, m] returns array[real])
+  for i : integer := 2; T : array[real] := [0: 0]
+  do if i < m then iter T := T[i: A[i]]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)",
+                  "start right after");
+}
+
+TEST(Typecheck, NonManifestLoopBoundRejected) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0]
+  do if A[i] < 1. then iter T := T[i: A[i]]; i := i + 1 enditer
+     else T endif
+  endfor
+endfun
+)",
+                  "manifest");
+}
+
+TEST(Typecheck, LetScopingAndShadowing) {
+  check(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  forall i in [0, m]
+    P : real := let s : real := A[i] in s * s endlet;
+    Q : real := P + 1.
+  construct let P : real := Q * 2. in P endlet
+  endall
+endfun
+)");
+}
+
+TEST(Typecheck, IndexArithmeticIsInteger) {
+  expectTypeError(R"(
+const m = 4
+function f(A: array[real] [0, m] returns array[real])
+  forall i in [0, m] construct A[i + 0.5] endall
+endfun
+)",
+                  "integer");
+}
+
+}  // namespace
+}  // namespace valpipe::val
