@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctlgen.dir/bench_ablation_ctlgen.cpp.o"
+  "CMakeFiles/bench_ablation_ctlgen.dir/bench_ablation_ctlgen.cpp.o.d"
+  "bench_ablation_ctlgen"
+  "bench_ablation_ctlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_amtraffic.dir/bench_claim_amtraffic.cpp.o"
+  "CMakeFiles/bench_claim_amtraffic.dir/bench_claim_amtraffic.cpp.o.d"
+  "bench_claim_amtraffic"
+  "bench_claim_amtraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_amtraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_balancing.dir/bench_claim_balancing.cpp.o"
+  "CMakeFiles/bench_claim_balancing.dir/bench_claim_balancing.cpp.o.d"
+  "bench_claim_balancing"
+  "bench_claim_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

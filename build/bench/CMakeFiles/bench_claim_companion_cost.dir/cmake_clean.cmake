@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_companion_cost.dir/bench_claim_companion_cost.cpp.o"
+  "CMakeFiles/bench_claim_companion_cost.dir/bench_claim_companion_cost.cpp.o.d"
+  "bench_claim_companion_cost"
+  "bench_claim_companion_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_companion_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_longfifo.dir/bench_claim_longfifo.cpp.o"
+  "CMakeFiles/bench_claim_longfifo.dir/bench_claim_longfifo.cpp.o.d"
+  "bench_claim_longfifo"
+  "bench_claim_longfifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_longfifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

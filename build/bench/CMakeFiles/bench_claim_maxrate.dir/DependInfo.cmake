@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_claim_maxrate.cpp" "bench/CMakeFiles/bench_claim_maxrate.dir/bench_claim_maxrate.cpp.o" "gcc" "bench/CMakeFiles/bench_claim_maxrate.dir/bench_claim_maxrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/valpipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/valpipe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/valpipe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/val/CMakeFiles/valpipe_val.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/valpipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/valpipe_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/valpipe_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/valpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_maxrate.dir/bench_claim_maxrate.cpp.o"
+  "CMakeFiles/bench_claim_maxrate.dir/bench_claim_maxrate.cpp.o.d"
+  "bench_claim_maxrate"
+  "bench_claim_maxrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_maxrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_program.dir/bench_fig3_program.cpp.o"
+  "CMakeFiles/bench_fig3_program.dir/bench_fig3_program.cpp.o.d"
+  "bench_fig3_program"
+  "bench_fig3_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_forall.dir/bench_fig6_forall.cpp.o"
+  "CMakeFiles/bench_fig6_forall.dir/bench_fig6_forall.cpp.o.d"
+  "bench_fig6_forall"
+  "bench_fig6_forall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_forall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

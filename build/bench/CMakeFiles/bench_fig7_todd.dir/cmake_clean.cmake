@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_todd.dir/bench_fig7_todd.cpp.o"
+  "CMakeFiles/bench_fig7_todd.dir/bench_fig7_todd.cpp.o.d"
+  "bench_fig7_todd"
+  "bench_fig7_todd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_todd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

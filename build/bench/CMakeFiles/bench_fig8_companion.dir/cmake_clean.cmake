@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_companion.dir/bench_fig8_companion.cpp.o"
+  "CMakeFiles/bench_fig8_companion.dir/bench_fig8_companion.cpp.o.d"
+  "bench_fig8_companion"
+  "bench_fig8_companion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_companion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

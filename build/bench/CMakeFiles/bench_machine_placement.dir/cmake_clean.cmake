@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machine_placement.dir/bench_machine_placement.cpp.o"
+  "CMakeFiles/bench_machine_placement.dir/bench_machine_placement.cpp.o.d"
+  "bench_machine_placement"
+  "bench_machine_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machine_profile.dir/bench_machine_profile.cpp.o"
+  "CMakeFiles/bench_machine_profile.dir/bench_machine_profile.cpp.o.d"
+  "bench_machine_profile"
+  "bench_machine_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_chain.dir/smoothing_chain.cpp.o"
+  "CMakeFiles/smoothing_chain.dir/smoothing_chain.cpp.o.d"
+  "smoothing_chain"
+  "smoothing_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valc.dir/valc.cpp.o"
+  "CMakeFiles/valc.dir/valc.cpp.o.d"
+  "valc"
+  "valc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

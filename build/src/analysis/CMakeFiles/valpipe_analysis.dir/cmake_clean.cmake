@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_analysis.dir/paths.cpp.o"
+  "CMakeFiles/valpipe_analysis.dir/paths.cpp.o.d"
+  "libvalpipe_analysis.a"
+  "libvalpipe_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance.cpp" "src/core/CMakeFiles/valpipe_core.dir/balance.cpp.o" "gcc" "src/core/CMakeFiles/valpipe_core.dir/balance.cpp.o.d"
+  "/root/repo/src/core/block_compiler.cpp" "src/core/CMakeFiles/valpipe_core.dir/block_compiler.cpp.o" "gcc" "src/core/CMakeFiles/valpipe_core.dir/block_compiler.cpp.o.d"
+  "/root/repo/src/core/forall.cpp" "src/core/CMakeFiles/valpipe_core.dir/forall.cpp.o" "gcc" "src/core/CMakeFiles/valpipe_core.dir/forall.cpp.o.d"
+  "/root/repo/src/core/foriter.cpp" "src/core/CMakeFiles/valpipe_core.dir/foriter.cpp.o" "gcc" "src/core/CMakeFiles/valpipe_core.dir/foriter.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/valpipe_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/valpipe_core.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/val/CMakeFiles/valpipe_val.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/valpipe_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/valpipe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/valpipe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/valpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_core.dir/balance.cpp.o"
+  "CMakeFiles/valpipe_core.dir/balance.cpp.o.d"
+  "CMakeFiles/valpipe_core.dir/block_compiler.cpp.o"
+  "CMakeFiles/valpipe_core.dir/block_compiler.cpp.o.d"
+  "CMakeFiles/valpipe_core.dir/forall.cpp.o"
+  "CMakeFiles/valpipe_core.dir/forall.cpp.o.d"
+  "CMakeFiles/valpipe_core.dir/foriter.cpp.o"
+  "CMakeFiles/valpipe_core.dir/foriter.cpp.o.d"
+  "CMakeFiles/valpipe_core.dir/program.cpp.o"
+  "CMakeFiles/valpipe_core.dir/program.cpp.o.d"
+  "libvalpipe_core.a"
+  "libvalpipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

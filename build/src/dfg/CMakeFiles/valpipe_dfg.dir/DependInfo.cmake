@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/dot.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/dot.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/dot.cpp.o.d"
+  "/root/repo/src/dfg/expand_ctl.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/expand_ctl.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/expand_ctl.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dfg/lower.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/lower.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/lower.cpp.o.d"
+  "/root/repo/src/dfg/opcode.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/opcode.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/opcode.cpp.o.d"
+  "/root/repo/src/dfg/prune.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/prune.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/prune.cpp.o.d"
+  "/root/repo/src/dfg/stats.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/stats.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/stats.cpp.o.d"
+  "/root/repo/src/dfg/validate.cpp" "src/dfg/CMakeFiles/valpipe_dfg.dir/validate.cpp.o" "gcc" "src/dfg/CMakeFiles/valpipe_dfg.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/valpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

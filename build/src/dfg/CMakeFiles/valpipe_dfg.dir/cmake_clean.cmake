@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_dfg.dir/dot.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/dot.cpp.o.d"
+  "CMakeFiles/valpipe_dfg.dir/expand_ctl.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/expand_ctl.cpp.o.d"
+  "CMakeFiles/valpipe_dfg.dir/graph.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/valpipe_dfg.dir/lower.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/lower.cpp.o.d"
+  "CMakeFiles/valpipe_dfg.dir/opcode.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/opcode.cpp.o.d"
+  "CMakeFiles/valpipe_dfg.dir/prune.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/prune.cpp.o.d"
+  "CMakeFiles/valpipe_dfg.dir/stats.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/stats.cpp.o.d"
+  "CMakeFiles/valpipe_dfg.dir/validate.cpp.o"
+  "CMakeFiles/valpipe_dfg.dir/validate.cpp.o.d"
+  "libvalpipe_dfg.a"
+  "libvalpipe_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

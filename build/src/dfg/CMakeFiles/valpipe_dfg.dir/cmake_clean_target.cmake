@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvalpipe_dfg.a"
+)

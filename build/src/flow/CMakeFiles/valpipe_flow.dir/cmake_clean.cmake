@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_flow.dir/difference_lp.cpp.o"
+  "CMakeFiles/valpipe_flow.dir/difference_lp.cpp.o.d"
+  "CMakeFiles/valpipe_flow.dir/mincostflow.cpp.o"
+  "CMakeFiles/valpipe_flow.dir/mincostflow.cpp.o.d"
+  "libvalpipe_flow.a"
+  "libvalpipe_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

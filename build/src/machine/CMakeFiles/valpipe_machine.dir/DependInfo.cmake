@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/engine.cpp" "src/machine/CMakeFiles/valpipe_machine.dir/engine.cpp.o" "gcc" "src/machine/CMakeFiles/valpipe_machine.dir/engine.cpp.o.d"
+  "/root/repo/src/machine/placement.cpp" "src/machine/CMakeFiles/valpipe_machine.dir/placement.cpp.o" "gcc" "src/machine/CMakeFiles/valpipe_machine.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/valpipe_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/valpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_machine.dir/engine.cpp.o"
+  "CMakeFiles/valpipe_machine.dir/engine.cpp.o.d"
+  "CMakeFiles/valpipe_machine.dir/placement.cpp.o"
+  "CMakeFiles/valpipe_machine.dir/placement.cpp.o.d"
+  "libvalpipe_machine.a"
+  "libvalpipe_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/valpipe_sim.dir/interpreter.cpp.o.d"
+  "libvalpipe_sim.a"
+  "libvalpipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

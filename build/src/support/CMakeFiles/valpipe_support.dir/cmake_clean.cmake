@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/valpipe_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/valpipe_support.dir/text.cpp.o"
+  "CMakeFiles/valpipe_support.dir/text.cpp.o.d"
+  "CMakeFiles/valpipe_support.dir/value.cpp.o"
+  "CMakeFiles/valpipe_support.dir/value.cpp.o.d"
+  "libvalpipe_support.a"
+  "libvalpipe_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

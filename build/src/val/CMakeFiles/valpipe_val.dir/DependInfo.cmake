@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/val/ast.cpp" "src/val/CMakeFiles/valpipe_val.dir/ast.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/ast.cpp.o.d"
+  "/root/repo/src/val/classify.cpp" "src/val/CMakeFiles/valpipe_val.dir/classify.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/classify.cpp.o.d"
+  "/root/repo/src/val/constfold.cpp" "src/val/CMakeFiles/valpipe_val.dir/constfold.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/constfold.cpp.o.d"
+  "/root/repo/src/val/eval.cpp" "src/val/CMakeFiles/valpipe_val.dir/eval.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/eval.cpp.o.d"
+  "/root/repo/src/val/lexer.cpp" "src/val/CMakeFiles/valpipe_val.dir/lexer.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/lexer.cpp.o.d"
+  "/root/repo/src/val/linear.cpp" "src/val/CMakeFiles/valpipe_val.dir/linear.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/linear.cpp.o.d"
+  "/root/repo/src/val/parser.cpp" "src/val/CMakeFiles/valpipe_val.dir/parser.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/parser.cpp.o.d"
+  "/root/repo/src/val/pretty.cpp" "src/val/CMakeFiles/valpipe_val.dir/pretty.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/pretty.cpp.o.d"
+  "/root/repo/src/val/typecheck.cpp" "src/val/CMakeFiles/valpipe_val.dir/typecheck.cpp.o" "gcc" "src/val/CMakeFiles/valpipe_val.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/valpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valpipe_val.dir/ast.cpp.o"
+  "CMakeFiles/valpipe_val.dir/ast.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/classify.cpp.o"
+  "CMakeFiles/valpipe_val.dir/classify.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/constfold.cpp.o"
+  "CMakeFiles/valpipe_val.dir/constfold.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/eval.cpp.o"
+  "CMakeFiles/valpipe_val.dir/eval.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/lexer.cpp.o"
+  "CMakeFiles/valpipe_val.dir/lexer.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/linear.cpp.o"
+  "CMakeFiles/valpipe_val.dir/linear.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/parser.cpp.o"
+  "CMakeFiles/valpipe_val.dir/parser.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/pretty.cpp.o"
+  "CMakeFiles/valpipe_val.dir/pretty.cpp.o.d"
+  "CMakeFiles/valpipe_val.dir/typecheck.cpp.o"
+  "CMakeFiles/valpipe_val.dir/typecheck.cpp.o.d"
+  "libvalpipe_val.a"
+  "libvalpipe_val.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valpipe_val.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balance_api.dir/test_balance_api.cpp.o"
+  "CMakeFiles/test_balance_api.dir/test_balance_api.cpp.o.d"
+  "test_balance_api"
+  "test_balance_api.pdb"
+  "test_balance_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balance_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines_agree.dir/test_engines_agree.cpp.o"
+  "CMakeFiles/test_engines_agree.dir/test_engines_agree.cpp.o.d"
+  "test_engines_agree"
+  "test_engines_agree.pdb"
+  "test_engines_agree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines_agree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

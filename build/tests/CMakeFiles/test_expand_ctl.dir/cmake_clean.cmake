@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expand_ctl.dir/test_expand_ctl.cpp.o"
+  "CMakeFiles/test_expand_ctl.dir/test_expand_ctl.cpp.o.d"
+  "test_expand_ctl"
+  "test_expand_ctl.pdb"
+  "test_expand_ctl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expand_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

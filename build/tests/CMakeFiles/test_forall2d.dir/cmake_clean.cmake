@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forall2d.dir/test_forall2d.cpp.o"
+  "CMakeFiles/test_forall2d.dir/test_forall2d.cpp.o.d"
+  "test_forall2d"
+  "test_forall2d.pdb"
+  "test_forall2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forall2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_foriter_schemes.dir/test_foriter_schemes.cpp.o"
+  "CMakeFiles/test_foriter_schemes.dir/test_foriter_schemes.cpp.o.d"
+  "test_foriter_schemes"
+  "test_foriter_schemes.pdb"
+  "test_foriter_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_foriter_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

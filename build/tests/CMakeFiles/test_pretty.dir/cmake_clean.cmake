@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pretty.dir/test_pretty.cpp.o"
+  "CMakeFiles/test_pretty.dir/test_pretty.cpp.o.d"
+  "test_pretty"
+  "test_pretty.pdb"
+  "test_pretty[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pretty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_typecheck.dir/test_typecheck.cpp.o"
+  "CMakeFiles/test_typecheck.dir/test_typecheck.cpp.o.d"
+  "test_typecheck"
+  "test_typecheck.pdb"
+  "test_typecheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_typecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
