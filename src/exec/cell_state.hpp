@@ -1,0 +1,31 @@
+// Dynamic per-cell state of the timed machine simulator.
+//
+// A Slot realizes the static architecture's capacity-1 operand discipline:
+// at most one result packet occupies a consumer port, and the producer may
+// refill it only after the acknowledge round trip ("at most one instance of
+// each instruction is active").  Slots live in one flat array parallel to
+// ExecutableGraph's operand slots; CellDyn holds the remaining per-cell
+// scalars.
+#pragma once
+
+#include <cstdint>
+
+#include "support/value.hpp"
+
+namespace valpipe::exec {
+
+/// One operand slot: holds at most one result packet.
+struct Slot {
+  bool full = false;
+  Value v{};
+  std::int64_t readyAt = 0;  ///< when the packet becomes usable (routing)
+  std::int64_t freedAt = 0;  ///< when the producer sees the acknowledge
+};
+
+/// Per-cell dynamic scalars.
+struct CellDyn {
+  std::int64_t emitted = 0;    ///< source cells: tokens produced so far
+  std::int64_t busyUntil = 0;  ///< cell cannot refire before this time
+};
+
+}  // namespace valpipe::exec

@@ -1,0 +1,119 @@
+#include "exec/executable_graph.hpp"
+
+#include <array>
+
+#include "support/check.hpp"
+
+namespace valpipe::exec {
+
+using dfg::Node;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::OutTag;
+using dfg::PortSrc;
+
+namespace {
+
+std::size_t tagIndex(OutTag t) {
+  switch (t) {
+    case OutTag::Always: return 0;
+    case OutTag::T: return 1;
+    case OutTag::F: return 2;
+  }
+  VALPIPE_UNREACHABLE("bad OutTag");
+}
+
+Operand flatten(const PortSrc& src) {
+  Operand o;
+  if (src.isArc())
+    o.producer = src.producer.index;
+  else
+    o.literal = src.literal;
+  if (src.initial) {
+    o.hasInitial = true;
+    o.initial = *src.initial;
+  }
+  return o;
+}
+
+}  // namespace
+
+ExecutableGraph::ExecutableGraph(const dfg::Graph& g) {
+  const std::size_t n = g.size();
+  cells_.resize(n);
+
+  // Pass 1: cell records, flat operand slots, per-(producer, tag) dest counts.
+  std::vector<std::array<std::uint32_t, 3>> counts(n, {0, 0, 0});
+  auto internStream = [this](const std::string& name) -> std::int32_t {
+    for (std::size_t i = 0; i < streamNames_.size(); ++i)
+      if (streamNames_[i] == name) return static_cast<std::int32_t>(i);
+    streamNames_.push_back(name);
+    return static_cast<std::int32_t>(streamNames_.size() - 1);
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Node& nd = g.node(NodeId{i});
+    Cell& c = cells_[i];
+    c.op = nd.op;
+    c.fu = dfg::fuClass(nd.op);
+    c.numPorts = static_cast<std::uint16_t>(nd.inputs.size());
+    c.hasGate = nd.gate.has_value();
+    c.firstPort = static_cast<std::uint32_t>(operands_.size());
+    for (const PortSrc& src : nd.inputs) {
+      if (src.isArc()) ++counts[src.producer.index][tagIndex(src.tag)];
+      operands_.push_back(flatten(src));
+    }
+    if (nd.gate) {
+      if (nd.gate->isArc()) ++counts[nd.gate->producer.index][tagIndex(nd.gate->tag)];
+      operands_.push_back(flatten(*nd.gate));
+    }
+    c.tokensPerWave = nd.tokensPerWave;
+    c.seqLo = nd.seqLo;
+    c.seqHi = nd.seqHi;
+    c.seqRepeat = nd.seqRepeat;
+    c.patternBegin = static_cast<std::uint32_t>(patternBits_.size());
+    for (bool b : nd.pattern.bits) patternBits_.push_back(b ? 1 : 0);
+    c.patternEnd = static_cast<std::uint32_t>(patternBits_.size());
+    if (!nd.streamName.empty()) c.stream = internStream(nd.streamName);
+  }
+
+  // Pass 2: CSR offsets per producer, tag-segmented.
+  std::uint32_t total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Cell& c = cells_[i];
+    c.destBegin = total;
+    c.alwaysEnd = c.destBegin + counts[i][0];
+    c.tEnd = c.alwaysEnd + counts[i][1];
+    c.destEnd = c.tEnd + counts[i][2];
+    total = c.destEnd;
+  }
+  dests_.resize(total);
+
+  // Pass 3: fill destinations.  Consumers are visited in cell order with the
+  // gate port last, so within each tag segment the order matches the
+  // destination-field order dfg::Wiring derives.
+  std::vector<std::array<std::uint32_t, 3>> cursor(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    cursor[i] = {cells_[i].destBegin, cells_[i].alwaysEnd, cells_[i].tEnd};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Cell& c = cells_[i];
+    const int portCount = c.numPorts + (c.hasGate ? 1 : 0);
+    for (int k = 0; k < portCount; ++k) {
+      const int port = k == c.numPorts ? kGatePort : k;
+      const std::uint32_t slot = c.firstPort + static_cast<std::uint32_t>(k);
+      const Operand& o = operands_[slot];
+      if (o.isLiteral()) continue;
+      const Node& nd = g.node(NodeId{i});
+      const PortSrc& src =
+          port == kGatePort ? *nd.gate : nd.inputs[static_cast<std::size_t>(port)];
+      dests_[cursor[src.producer.index][tagIndex(src.tag)]++] = {i, port, slot};
+    }
+  }
+
+  // Array-memory fetchers per stream (for store -> fetcher re-awakening).
+  fetchersByStream_.resize(streamNames_.size());
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (cells_[i].op == Op::AmFetch && cells_[i].stream >= 0)
+      fetchersByStream_[static_cast<std::size_t>(cells_[i].stream)].push_back(i);
+}
+
+}  // namespace valpipe::exec

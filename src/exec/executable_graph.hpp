@@ -1,0 +1,158 @@
+// Flattened, cache-friendly executable form of a dfg::Graph.
+//
+// Both execution engines (the untimed Kahn interpreter in src/sim and the
+// timed machine simulator in src/machine) used to walk the pointer-heavy
+// dfg::Graph directly, re-deriving destination lists and operand layouts on
+// every firing.  ExecutableGraph lowers a graph ONCE into CSR-style flat
+// arrays:
+//
+//   - one Cell record per instruction cell (opcode, FU class, operand count,
+//     source-sequence state, stream index);
+//   - a contiguous Operand array holding every operand slot — the data ports
+//     of a cell followed by its optional gate port — so an engine's dynamic
+//     per-slot state (token queue or capacity-1 packet slot) is a parallel
+//     flat array indexed by the same slot numbers;
+//   - a contiguous Dest array per producer, segmented by OutTag
+//     (Always | T | F) so the destinations of a firing with a given gate
+//     value are two slices, no allocation or filtering required;
+//   - precomputed acknowledge-arc information: every Dest and Operand record
+//     carries the flat slot index / producer cell needed to route acknowledge
+//     wake-ups without touching the original graph.
+//
+// The structure is read-only after construction and shared by any number of
+// concurrently running engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "dfg/opcode.hpp"
+#include "support/value.hpp"
+
+namespace valpipe::exec {
+
+/// Operand index of a cell's gate port (mirrors dfg::kGatePort).
+inline constexpr int kGatePort = dfg::kGatePort;
+
+/// Sentinel producer index meaning "literal operand, no producer".
+inline constexpr std::uint32_t kNoProducer = UINT32_MAX;
+
+/// One operand slot: either a literal payload or an arc from `producer`.
+/// The slot may carry a load-time token (counter-loop bootstraps).
+struct Operand {
+  std::uint32_t producer = kNoProducer;  ///< kNoProducer => literal
+  Value literal{};                       ///< literal payload (literals only)
+  bool hasInitial = false;
+  Value initial{};                       ///< load-time token, if any
+
+  bool isLiteral() const { return producer == kNoProducer; }
+};
+
+/// One destination of a producer's result packet.
+struct Dest {
+  std::uint32_t consumer = 0;  ///< consumer cell index
+  std::int32_t port = 0;       ///< operand index, or kGatePort
+  std::uint32_t slot = 0;      ///< flat operand-slot index of (consumer, port)
+};
+
+/// Contiguous slice of the destination array.
+struct DestSpan {
+  const Dest* first = nullptr;
+  const Dest* last = nullptr;
+  const Dest* begin() const { return first; }
+  const Dest* end() const { return last; }
+  bool empty() const { return first == last; }
+};
+
+/// Static per-cell record.  Destination slices are segmented by tag:
+/// [destBegin, alwaysEnd) Always, [alwaysEnd, tEnd) T, [tEnd, destEnd) F.
+struct Cell {
+  dfg::Op op = dfg::Op::Id;
+  dfg::FuClass fu = dfg::FuClass::Pe;
+  std::uint16_t numPorts = 0;  ///< data operand count (gate excluded)
+  bool hasGate = false;
+  std::uint32_t firstPort = 0;  ///< flat slot of operand 0; gate at +numPorts
+
+  std::uint32_t destBegin = 0;
+  std::uint32_t alwaysEnd = 0;
+  std::uint32_t tEnd = 0;
+  std::uint32_t destEnd = 0;
+
+  // --- source attributes (meaningful per op) ---
+  std::int64_t tokensPerWave = -1;
+  std::int64_t seqLo = 0;      ///< IndexSeq
+  std::int64_t seqHi = -1;     ///< IndexSeq
+  std::int64_t seqRepeat = 1;  ///< IndexSeq
+  std::uint32_t patternBegin = 0;  ///< BoolSeq bits
+  std::uint32_t patternEnd = 0;
+  std::int32_t stream = -1;  ///< interned stream-name index, -1 when none
+};
+
+class ExecutableGraph {
+ public:
+  /// Flattens `g`.  Accepts any graph (composite Fifo nodes included); the
+  /// timed engine additionally requires dfg::isLowered, which stays the
+  /// caller's contract.
+  explicit ExecutableGraph(const dfg::Graph& g);
+
+  std::size_t size() const { return cells_.size(); }
+  const Cell& cell(std::uint32_t c) const { return cells_[c]; }
+
+  /// Total operand slots (gates included): engines size their dynamic state
+  /// arrays with this and index them by slot number.
+  std::size_t slotCount() const { return operands_.size(); }
+  const Operand& operandAt(std::uint32_t slot) const { return operands_[slot]; }
+  /// Flat slot index of a cell's operand `port` (kGatePort for the gate).
+  std::uint32_t slotOf(const Cell& c, int port) const {
+    return c.firstPort +
+           static_cast<std::uint32_t>(port == kGatePort ? c.numPorts : port);
+  }
+  const Operand& operand(const Cell& c, int port) const {
+    return operands_[slotOf(c, port)];
+  }
+
+  /// Destinations delivered on every firing.
+  DestSpan alwaysDests(const Cell& c) const {
+    return {dests_.data() + c.destBegin, dests_.data() + c.alwaysEnd};
+  }
+  /// Destinations additionally delivered when the gate evaluates to
+  /// `gateVal` (the paper's T/F-tagged destination fields).
+  DestSpan taggedDests(const Cell& c, bool gateVal) const {
+    return gateVal ? DestSpan{dests_.data() + c.alwaysEnd, dests_.data() + c.tEnd}
+                   : DestSpan{dests_.data() + c.tEnd, dests_.data() + c.destEnd};
+  }
+  DestSpan allDests(const Cell& c) const {
+    return {dests_.data() + c.destBegin, dests_.data() + c.destEnd};
+  }
+
+  bool patternBit(const Cell& c, std::int64_t j) const {
+    return patternBits_[c.patternBegin + static_cast<std::uint32_t>(j)] != 0;
+  }
+
+  /// Stream name of a cell (empty when the cell has none).
+  const std::string& streamName(const Cell& c) const {
+    static const std::string kEmpty;
+    return c.stream < 0 ? kEmpty
+                        : streamNames_[static_cast<std::size_t>(c.stream)];
+  }
+
+  /// AmFetch cells reading the region a store cell appends to (used to
+  /// re-awaken fetchers when a store lands).  Empty for non-store streams.
+  const std::vector<std::uint32_t>& fetchersOf(const Cell& c) const {
+    static const std::vector<std::uint32_t> kNone;
+    return c.stream < 0 ? kNone
+                        : fetchersByStream_[static_cast<std::size_t>(c.stream)];
+  }
+
+ private:
+  std::vector<Cell> cells_;
+  std::vector<Operand> operands_;
+  std::vector<Dest> dests_;
+  std::vector<std::uint8_t> patternBits_;
+  std::vector<std::string> streamNames_;
+  std::vector<std::vector<std::uint32_t>> fetchersByStream_;
+};
+
+}  // namespace valpipe::exec

@@ -1,0 +1,69 @@
+// Function-unit pool arbiter (§2's finite functional-unit classes).
+//
+// A firing reserves one unit of its FU class for the class's execution
+// latency; a class with zero configured units is unlimited (no contention).
+// Grants happen inside the scheduler's enabling phase, in cell-priority
+// order, so pool pressure resolves exactly as the synchronous reference
+// stepper resolves it.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dfg/opcode.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::exec {
+
+class FuPool {
+ public:
+  /// `units[c]` == 0 means unlimited; `latency[c]` is the class's execution
+  /// latency in instruction times.
+  FuPool(const std::array<int, 4>& units, const std::array<int, 4>& latency)
+      : latency_(latency) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      limited_[c] = units[c] != 0;
+      freeAt_[c].assign(static_cast<std::size_t>(std::max(units[c], 0)), 0);
+    }
+  }
+
+  /// Tries to reserve a unit of class `c` at time `now`; accumulates busy
+  /// time on success.
+  bool tryGrant(dfg::FuClass fc, std::int64_t now) {
+    const auto c = static_cast<std::size_t>(fc);
+    if (!limited_[c]) {
+      busy_[c] += static_cast<std::uint64_t>(latency_[c]);
+      return true;
+    }
+    for (std::int64_t& freeAt : freeAt_[c]) {
+      if (freeAt <= now) {
+        freeAt = now + latency_[c];
+        busy_[c] += static_cast<std::uint64_t>(latency_[c]);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Earliest time a unit of class `c` frees.  Only meaningful after a
+  /// failed grant (all units busy), which also implies the class is limited.
+  std::int64_t nextFree(dfg::FuClass fc) const {
+    const auto c = static_cast<std::size_t>(fc);
+    VALPIPE_CHECK_MSG(limited_[c] && !freeAt_[c].empty(),
+                      "nextFree on an unlimited FU class");
+    return *std::min_element(freeAt_[c].begin(), freeAt_[c].end());
+  }
+
+  /// Busy instruction-times accumulated per class (for utilization).
+  const std::array<std::uint64_t, 4>& busy() const { return busy_; }
+
+ private:
+  std::array<int, 4> latency_{};
+  std::array<bool, 4> limited_{};
+  std::array<std::vector<std::int64_t>, 4> freeAt_;
+  std::array<std::uint64_t, 4> busy_{};
+};
+
+}  // namespace valpipe::exec

@@ -1,0 +1,45 @@
+// Shared scalar-operator dispatch for the execution engines.
+//
+// Both the untimed Kahn interpreter and the timed machine simulator evaluate
+// the same pure cell operations; funneling them through one switch keeps the
+// engines bit-identical and removes the duplicated opcode tables they used to
+// carry.  Non-pure ops (Merge, Output, Sink, AmStore and the sources) have
+// engine-specific token plumbing and stay in the engines.
+#pragma once
+
+#include "dfg/opcode.hpp"
+#include "support/check.hpp"
+#include "support/value.hpp"
+
+namespace valpipe::exec {
+
+/// Applies a pure scalar op; `in(p)` yields the value of operand `p`.
+template <class In>
+Value applyPure(dfg::Op op, In&& in) {
+  using dfg::Op;
+  switch (op) {
+    case Op::Id:
+    case Op::Fifo: return in(0);
+    case Op::Not: return ops::logicalNot(in(0));
+    case Op::Neg: return ops::neg(in(0));
+    case Op::Abs: return ops::abs(in(0));
+    case Op::Add: return ops::add(in(0), in(1));
+    case Op::Sub: return ops::sub(in(0), in(1));
+    case Op::Mul: return ops::mul(in(0), in(1));
+    case Op::Div: return ops::div(in(0), in(1));
+    case Op::Min: return ops::min(in(0), in(1));
+    case Op::Max: return ops::max(in(0), in(1));
+    case Op::Mod: return ops::mod(in(0), in(1));
+    case Op::Lt: return ops::lt(in(0), in(1));
+    case Op::Le: return ops::le(in(0), in(1));
+    case Op::Gt: return ops::gt(in(0), in(1));
+    case Op::Ge: return ops::ge(in(0), in(1));
+    case Op::Eq: return ops::eq(in(0), in(1));
+    case Op::Ne: return ops::ne(in(0), in(1));
+    case Op::And: return ops::logicalAnd(in(0), in(1));
+    case Op::Or: return ops::logicalOr(in(0), in(1));
+    default: VALPIPE_UNREACHABLE("not a pure scalar op");
+  }
+}
+
+}  // namespace valpipe::exec

@@ -1,0 +1,46 @@
+// Packet traffic counters (§2's packet communication architecture).
+//
+// Accumulated by the timed engine's firing/acknowledge/routing paths; the
+// per-class operation-packet split backs the paper's "<= 1/8 of operation
+// packets go to the array memories" claim.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dfg/opcode.hpp"
+
+namespace valpipe::exec {
+
+struct PacketCounters {
+  std::array<std::uint64_t, 4> opPacketsByClass{};  ///< indexed by FuClass
+  std::uint64_t resultPackets = 0;
+  std::uint64_t ackPackets = 0;
+  /// Result packets that crossed processing elements through the
+  /// distribution network (only counted when a Placement is supplied).
+  std::uint64_t networkResultPackets = 0;
+
+  double networkShare() const {
+    return resultPackets == 0
+               ? 0.0
+               : static_cast<double>(networkResultPackets) /
+                     static_cast<double>(resultPackets);
+  }
+
+  std::uint64_t opPacketsTotal() const {
+    std::uint64_t s = 0;
+    for (auto v : opPacketsByClass) s += v;
+    return s;
+  }
+  /// Fraction of operation packets sent to the array memories (§2 claims
+  /// <= 1/8 for streaming application codes).
+  double amShare() const {
+    const auto total = opPacketsTotal();
+    return total == 0 ? 0.0
+                      : static_cast<double>(opPacketsByClass[static_cast<int>(
+                            dfg::FuClass::Am)]) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace valpipe::exec

@@ -1,0 +1,50 @@
+// Placement / distribution-network accounting (Fig. 1).
+//
+// When a cell-to-PE assignment is supplied, result packets between cells in
+// different processing elements traverse the distribution network: they pay
+// the configured extra hop delay and are counted as network traffic.  The
+// router also attributes result-producing firings to their PE.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/packet_counters.hpp"
+
+namespace valpipe::exec {
+
+class Router {
+ public:
+  Router() = default;
+  /// `peOf` maps each cell to its PE and must outlive the router.
+  Router(const std::vector<int>& peOf, int peCount, int interPeDelay)
+      : peOf_(&peOf),
+        interPeDelay_(interPeDelay),
+        pePackets_(static_cast<std::size_t>(peCount), 0) {}
+
+  bool active() const { return peOf_ != nullptr; }
+
+  /// Attributes one result-producing firing to the cell's PE.
+  void noteFiring(std::uint32_t cell) {
+    if (active()) ++pePackets_[static_cast<std::size_t>((*peOf_)[cell])];
+  }
+
+  /// Extra transit delay for a result packet from `from` to `to`; counts the
+  /// packet as distribution-network traffic when the PEs differ.
+  std::int64_t extraDelay(std::uint32_t from, std::uint32_t to,
+                          PacketCounters& counters) const {
+    if (!active() || (*peOf_)[from] == (*peOf_)[to]) return 0;
+    ++counters.networkResultPackets;
+    return interPeDelay_;
+  }
+
+  /// Result packets launched per PE (empty when no placement is active).
+  const std::vector<std::uint64_t>& pePackets() const { return pePackets_; }
+
+ private:
+  const std::vector<int>* peOf_ = nullptr;
+  int interPeDelay_ = 0;
+  std::vector<std::uint64_t> pePackets_;
+};
+
+}  // namespace valpipe::exec

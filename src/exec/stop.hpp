@@ -1,0 +1,66 @@
+// Stop-condition logic of the timed simulator.
+//
+// A run ends when (a) every expected output stream has delivered its element
+// count, (b) the machine has been quiescent for longer than any in-flight
+// packet delay can span (deadlock / natural drain), or (c) the cycle budget
+// runs out.  StopCondition tracks (a) in O(1) per output firing; the
+// quiescence window for (b) is computed from the timing profile.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace valpipe::exec {
+
+class StopCondition {
+ public:
+  explicit StopCondition(
+      const std::map<std::string, std::int64_t>& expectedOutputs) {
+    for (const auto& [name, want] : expectedOutputs) {
+      names_.push_back(name);
+      want_.push_back(want);
+      have_.push_back(0);
+      if (want > 0) ++remaining_;
+    }
+  }
+
+  /// Counter index for an output stream, or -1 when the stream carries no
+  /// expectation.
+  std::int32_t slotFor(const std::string& name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i)
+      if (names_[i] == name) return static_cast<std::int32_t>(i);
+    return -1;
+  }
+
+  /// Records one delivered output element (slot -1 is ignored).
+  void onOutput(std::int32_t slot) {
+    if (slot < 0) return;
+    if (++have_[static_cast<std::size_t>(slot)] ==
+        want_[static_cast<std::size_t>(slot)])
+      --remaining_;
+  }
+
+  /// All expected outputs arrived (false when none were expected, matching
+  /// the run-forever-until-quiescent contract).
+  bool outputsComplete() const { return !want_.empty() && remaining_ == 0; }
+
+  /// Whether quiescence counts as successful completion.
+  bool quiescentOk() const { return want_.empty() || remaining_ == 0; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::int64_t> want_;
+  std::vector<std::int64_t> have_;
+  std::int64_t remaining_ = 0;
+};
+
+/// Idle cycles after which the machine is declared quiescent: longer than
+/// any in-flight result/acknowledge delay can span under the profile.
+inline std::int64_t quiesceWindow(int routeDelay, int ackDelay,
+                                  int maxExecLatency) {
+  return 2 + routeDelay + ackDelay + maxExecLatency;
+}
+
+}  // namespace valpipe::exec

@@ -1,122 +1,147 @@
+// Timed machine simulation over the flattened exec::ExecutableGraph.
+//
+// One engine core implements the §2/§3 firing discipline (enabling test,
+// firing effects, acknowledge bookkeeping); two run loops drive it:
+//
+//   runSynchronous  — rescans every cell each instruction time with rotating
+//                     priority, the original stepper's schedule on the flat
+//                     representation;
+//   runEventDriven  — examines only cells woken by an event (token arrival,
+//                     acknowledge, function-unit release, own-firing
+//                     completion, array-memory store), popped per instruction
+//                     time from exec::ReadyQueue and scanned in the same
+//                     rotating priority order.
+//
+// Both phases of an examined instruction time are kept two-phase (all
+// enabling decisions before any firing is applied), and candidate cells are
+// ordered exactly as the full rescan orders them, so every MachineResult
+// field — outputs, arrival times, per-cell firings, cycles, packet and
+// busy-time counters — is bit-identical across the schedulers and the
+// pre-refactor Reference stepper (machine/engine_reference.cpp).
 #include "machine/engine.hpp"
 
 #include <algorithm>
 #include <optional>
 
 #include "dfg/lower.hpp"
+#include "exec/cell_state.hpp"
+#include "exec/executable_graph.hpp"
+#include "exec/fu_pool.hpp"
+#include "exec/ops.hpp"
+#include "exec/ready_queue.hpp"
+#include "exec/router.hpp"
+#include "exec/stop.hpp"
 #include "support/check.hpp"
 
 namespace valpipe::machine {
 
-using dfg::Graph;
-using dfg::Node;
-using dfg::NodeId;
 using dfg::Op;
-using dfg::PortSrc;
-using dfg::Wiring;
+using exec::Cell;
+using exec::CellDyn;
+using exec::Dest;
+using exec::DestSpan;
+using exec::ExecutableGraph;
+using exec::Operand;
+using exec::Slot;
 
 namespace {
 
-/// One operand slot at a consumer port: holds at most one result packet, per
-/// the static architecture's "at most one instance of each instruction is
-/// active" discipline.
-struct Slot {
-  bool full = false;
-  Value v{};
-  std::int64_t readyAt = 0;  ///< when the packet becomes usable (routing)
-  std::int64_t freedAt = 0;  ///< when the producer sees the acknowledge
-};
-
-struct CellState {
-  std::vector<Slot> ports;
-  Slot gate;
-  std::int64_t emitted = 0;
-  std::int64_t busyUntil = 0;  ///< cell cannot refire before this time
-};
-
 struct Engine {
-  const Graph& g;
+  const ExecutableGraph& eg;
   const MachineConfig& cfg;
-  const Wiring wiring;
-  const StreamMap& inputs;
   const RunOptions& opts;
 
-  std::vector<CellState> state;
-  std::array<std::vector<std::int64_t>, 4> fuFreeAt;  ///< per class unit pool
+  std::vector<Slot> slots;     ///< one per operand slot (gates included)
+  std::vector<CellDyn> cells;  ///< per-cell emitted / busyUntil
+  exec::FuPool fu;
+  exec::Router router;
+  exec::StopCondition stop;
+  exec::ReadyQueue* rq = nullptr;  ///< set while running event-driven
+
+  /// Input / AmFetch cells: the backing stream read by sourceValue.
+  std::vector<const std::vector<Value>*> sourceData;
+  /// Output cells: StopCondition counter index (-1 when unexpected).
+  std::vector<std::int32_t> stopSlot;
+
   MachineResult result;
   std::int64_t now = 0;
 
-  Engine(const Graph& graph, const MachineConfig& config, const StreamMap& in,
-         const RunOptions& o)
-      : g(graph), cfg(config), wiring(graph), inputs(in), opts(o) {
-    VALPIPE_CHECK_MSG(dfg::isLowered(g), "machine engine requires lowered graph");
-    state.resize(g.size());
-    result.firings.assign(g.size(), 0);
-    for (NodeId id : g.ids()) {
-      const Node& n = g.node(id);
-      state[id.index].ports.resize(n.inputs.size());
-      // Load-time tokens (counter-loop bootstraps): present at t = 0.
-      for (std::size_t p = 0; p < n.inputs.size(); ++p)
-        if (n.inputs[p].initial) {
-          Slot& s = state[id.index].ports[p];
-          s.full = true;
-          s.v = *n.inputs[p].initial;
-        }
-      if (n.gate && n.gate->initial) {
-        state[id.index].gate.full = true;
-        state[id.index].gate.v = *n.gate->initial;
+  Engine(const ExecutableGraph& graph, const MachineConfig& config,
+         const StreamMap& inputs, const RunOptions& o)
+      : eg(graph),
+        cfg(config),
+        opts(o),
+        slots(graph.slotCount()),
+        cells(graph.size()),
+        fu(config.fuUnits, config.execLatency),
+        stop(o.expectedOutputs),
+        sourceData(graph.size(), nullptr),
+        stopSlot(graph.size(), -1) {
+    result.firings.assign(eg.size(), 0);
+    // Load-time tokens (counter-loop bootstraps): present at t = 0.
+    for (std::uint32_t s = 0; s < eg.slotCount(); ++s) {
+      const Operand& o2 = eg.operandAt(s);
+      if (o2.hasInitial) {
+        slots[s].full = true;
+        slots[s].v = o2.initial;
       }
-    }
-    for (int c = 0; c < 4; ++c) {
-      const int units = cfg.fuUnits[c];
-      fuFreeAt[c].assign(static_cast<std::size_t>(std::max(units, 0)), 0);
     }
     result.amFinal = opts.amInitial;
     // Fetched regions must exist even when nothing is pre-loaded (stores
-    // fill them during the run).
-    for (NodeId id : g.ids())
-      if (g.node(id).op == Op::AmFetch) result.amFinal[g.node(id).streamName];
+    // fill them during the run); resolve stream bindings once.
+    for (std::uint32_t c = 0; c < eg.size(); ++c) {
+      const Cell& cl = eg.cell(c);
+      if (cl.op == Op::AmFetch) result.amFinal[eg.streamName(cl)];
+    }
+    for (std::uint32_t c = 0; c < eg.size(); ++c) {
+      const Cell& cl = eg.cell(c);
+      if (cl.op == Op::Input) {
+        auto it = inputs.find(eg.streamName(cl));
+        VALPIPE_CHECK_MSG(it != inputs.end(), "missing input stream '" +
+                                                  eg.streamName(cl) + "'");
+        VALPIPE_CHECK_MSG(static_cast<std::int64_t>(it->second.size()) ==
+                              cl.tokensPerWave,
+                          "input '" + eg.streamName(cl) + "' has wrong length");
+        sourceData[c] = &it->second;
+      } else if (cl.op == Op::AmFetch) {
+        sourceData[c] = &result.amFinal.at(eg.streamName(cl));
+      } else if (cl.op == Op::Output) {
+        stopSlot[c] = stop.slotFor(eg.streamName(cl));
+      }
+    }
     if (opts.placement) {
-      VALPIPE_CHECK_MSG(opts.placement->peOf.size() == g.size(),
+      VALPIPE_CHECK_MSG(opts.placement->peOf.size() == eg.size(),
                         "placement does not match the graph");
-      result.pePackets.assign(static_cast<std::size_t>(opts.placement->peCount),
-                              0);
+      router = exec::Router(opts.placement->peOf, opts.placement->peCount,
+                            cfg.interPeDelay);
     }
   }
 
-  std::int64_t sourceLimit(const Node& n) const {
-    std::int64_t perWave = n.tokensPerWave;
-    if (n.op == Op::Input) {
-      auto it = inputs.find(n.streamName);
-      VALPIPE_CHECK_MSG(it != inputs.end(),
-                        "missing input stream '" + n.streamName + "'");
-      VALPIPE_CHECK_MSG(
-          static_cast<std::int64_t>(it->second.size()) == perWave,
-          "input '" + n.streamName + "' has wrong length");
-    }
-    if (n.op == Op::AmFetch) {
+  void wake(std::uint32_t cell, std::int64_t at) {
+    if (rq) rq->wake(cell, at);
+  }
+
+  std::int64_t sourceLimit(std::uint32_t c, const Cell& cl) const {
+    if (cl.op == Op::AmFetch) {
       // Reads the region sequentially as stores fill it: the limit is
       // whatever is available now, capped at one region read per wave.
-      auto it = result.amFinal.find(n.streamName);
-      VALPIPE_CHECK_MSG(it != result.amFinal.end(),
-                        "missing array-memory contents '" + n.streamName + "'");
       return std::min<std::int64_t>(
-          perWave * opts.waves, static_cast<std::int64_t>(it->second.size()));
+          cl.tokensPerWave * opts.waves,
+          static_cast<std::int64_t>(sourceData[c]->size()));
     }
-    return perWave * opts.waves;
+    return cl.tokensPerWave * opts.waves;
   }
 
-  Value sourceValue(const Node& n, std::int64_t k) const {
-    const std::int64_t j = k % n.tokensPerWave;
-    switch (n.op) {
-      case Op::Input: return inputs.at(n.streamName)[static_cast<std::size_t>(j)];
-      case Op::BoolSeq:
-        return Value(static_cast<bool>(n.pattern.bits[static_cast<std::size_t>(j)]));
+  Value sourceValue(std::uint32_t c, const Cell& cl, std::int64_t k) const {
+    const std::int64_t j = k % cl.tokensPerWave;
+    switch (cl.op) {
+      case Op::Input:
+        return (*sourceData[c])[static_cast<std::size_t>(j)];
+      case Op::BoolSeq: return Value(eg.patternBit(cl, j));
       case Op::IndexSeq:
-        return Value(n.seqLo +
-                     (j / n.seqRepeat) % (n.seqHi - n.seqLo + 1));
+        return Value(cl.seqLo + (j / cl.seqRepeat) % (cl.seqHi - cl.seqLo + 1));
       case Op::AmFetch:
-        return result.amFinal.at(n.streamName)[static_cast<std::size_t>(k)];
+        return (*sourceData[c])[static_cast<std::size_t>(k)];
       default: VALPIPE_UNREACHABLE("not a source");
     }
   }
@@ -124,223 +149,293 @@ struct Engine {
   bool slotReady(const Slot& s) const { return s.full && s.readyAt <= now; }
   bool slotFree(const Slot& s) const { return !s.full && s.freedAt <= now; }
 
-  bool portReady(NodeId id, int port) const {
-    const Node& n = g.node(id);
-    if (port == dfg::kGatePort)
-      return n.gate->isLiteral() || slotReady(state[id.index].gate);
-    return n.inputs[port].isLiteral() || slotReady(state[id.index].ports[port]);
+  bool portReady(const Cell& cl, int port) const {
+    const std::uint32_t si = eg.slotOf(cl, port);
+    return eg.operandAt(si).isLiteral() || slotReady(slots[si]);
   }
 
-  Value portValue(NodeId id, int port) const {
-    const Node& n = g.node(id);
-    if (port == dfg::kGatePort)
-      return n.gate->isLiteral() ? n.gate->literal : state[id.index].gate.v;
-    return n.inputs[port].isLiteral() ? n.inputs[port].literal
-                                      : state[id.index].ports[port].v;
+  Value portValue(const Cell& cl, int port) const {
+    const std::uint32_t si = eg.slotOf(cl, port);
+    const Operand& o = eg.operandAt(si);
+    return o.isLiteral() ? o.literal : slots[si].v;
   }
 
-  /// Destination slots this firing would deliver to must all be free.
-  bool destsFree(NodeId id, std::optional<bool> gateVal) const {
-    for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
-      const Slot& s = d.port == dfg::kGatePort ? state[d.consumer.index].gate
-                                               : state[d.consumer.index].ports[d.port];
-      if (!slotFree(s)) return false;
-    }
+  bool destsFree(DestSpan ds) const {
+    for (const Dest& d : ds)
+      if (!slotFree(slots[d.slot])) return false;
     return true;
   }
 
   /// Enabled test (phase A, reads only start-of-cycle state).
-  bool enabled(NodeId id) const {
-    const Node& n = g.node(id);
-    const CellState& cs = state[id.index];
-    if (cs.busyUntil > now) return false;
+  bool enabled(std::uint32_t c) const {
+    const Cell& cl = eg.cell(c);
+    const CellDyn& dyn = cells[c];
+    if (dyn.busyUntil > now) return false;
 
-    if (dfg::isSource(n.op)) {
-      if (cs.emitted >= sourceLimit(n)) return false;
-      return destsFree(id, std::nullopt);
+    if (dfg::isSource(cl.op)) {
+      if (dyn.emitted >= sourceLimit(c, cl)) return false;
+      return destsFree(eg.alwaysDests(cl));
     }
     std::optional<bool> gateVal;
-    if (n.gate) {
-      if (!portReady(id, dfg::kGatePort)) return false;
-      gateVal = portValue(id, dfg::kGatePort).asBoolean();
+    if (cl.hasGate) {
+      if (!portReady(cl, exec::kGatePort)) return false;
+      gateVal = portValue(cl, exec::kGatePort).asBoolean();
     }
-    if (n.op == Op::Merge) {
-      if (!portReady(id, 0)) return false;
-      const bool sel = portValue(id, 0).asBoolean();
-      if (!portReady(id, sel ? 1 : 2)) return false;
+    if (cl.op == Op::Merge) {
+      if (!portReady(cl, 0)) return false;
+      const bool sel = portValue(cl, 0).asBoolean();
+      if (!portReady(cl, sel ? 1 : 2)) return false;
     } else {
-      for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
-        if (!portReady(id, p)) return false;
+      for (int p = 0; p < static_cast<int>(cl.numPorts); ++p)
+        if (!portReady(cl, p)) return false;
     }
-    if (!dfg::producesResult(n.op)) return true;
-    return destsFree(id, gateVal);
+    if (!dfg::producesResult(cl.op)) return true;
+    if (!destsFree(eg.alwaysDests(cl))) return false;
+    return !gateVal || destsFree(eg.taggedDests(cl, *gateVal));
   }
 
-  void consume(NodeId id, int port) {
-    const Node& n = g.node(id);
-    Slot& s = port == dfg::kGatePort ? state[id.index].gate
-                                     : state[id.index].ports[port];
-    const bool literal = port == dfg::kGatePort ? n.gate->isLiteral()
-                                                : n.inputs[port].isLiteral();
-    if (literal) return;
+  bool consumedAny = false;   ///< current firing consumed a non-literal port
+  bool deliveredAny = false;  ///< current firing filled a destination slot
+
+  void consume(const Cell& cl, int port) {
+    const std::uint32_t si = eg.slotOf(cl, port);
+    const Operand& o = eg.operandAt(si);
+    if (o.isLiteral()) return;
+    Slot& s = slots[si];
     s.full = false;
     s.freedAt = now + cfg.ackDelay;
     ++result.packets.ackPackets;
+    consumedAny = true;
+    // The acknowledge frees the producer's destination: it may re-enable
+    // from the instruction time the ack becomes visible.
+    wake(o.producer, std::max<std::int64_t>(s.freedAt, now + 1));
   }
 
-  /// Phase B: applies the firing of `id` at time `now`.
-  void fire(NodeId id) {
-    const Node& n = g.node(id);
-    CellState& cs = state[id.index];
-    ++result.firings[id.index];
+  void deliver(DestSpan ds, const Value& v, std::uint32_t from,
+               std::int64_t arrive) {
+    if (!ds.empty()) deliveredAny = true;
+    for (const Dest& d : ds) {
+      Slot& s = slots[d.slot];
+      VALPIPE_CHECK_MSG(!s.full, "result packet delivered into occupied slot");
+      s.full = true;
+      s.v = v;
+      // Packets between cells in different PEs traverse the distribution
+      // network (Fig. 1) and pay the extra hop.
+      const std::int64_t at =
+          arrive + router.extraDelay(from, d.consumer, result.packets);
+      s.readyAt = at;
+      ++result.packets.resultPackets;
+      wake(d.consumer, std::max<std::int64_t>(at, now + 1));
+    }
+  }
+
+  /// Phase B: applies the firing of `c` at time `now`.
+  void fire(std::uint32_t c) {
+    const Cell& cl = eg.cell(c);
+    CellDyn& dyn = cells[c];
+    ++result.firings[c];
     ++result.totalFirings;
-    ++result.packets.opPacketsByClass[static_cast<std::size_t>(dfg::fuClass(n.op))];
-    cs.busyUntil = now + 1;
+    ++result.packets.opPacketsByClass[static_cast<std::size_t>(cl.fu)];
+    dyn.busyUntil = now + 1;
+    consumedAny = deliveredAny = false;
 
     std::optional<Value> out;
     std::optional<bool> gateVal;
 
-    if (dfg::isSource(n.op)) {
-      out = sourceValue(n, cs.emitted);
-      ++cs.emitted;
+    if (dfg::isSource(cl.op)) {
+      out = sourceValue(c, cl, dyn.emitted);
+      ++dyn.emitted;
     } else {
-      if (n.gate) {
-        gateVal = portValue(id, dfg::kGatePort).asBoolean();
-        consume(id, dfg::kGatePort);
+      if (cl.hasGate) {
+        gateVal = portValue(cl, exec::kGatePort).asBoolean();
+        consume(cl, exec::kGatePort);
       }
-      auto in = [&](int p) { return portValue(id, p); };
-      switch (n.op) {
-        case Op::Id: out = in(0); break;
-        case Op::Not: out = ops::logicalNot(in(0)); break;
-        case Op::Neg: out = ops::neg(in(0)); break;
-        case Op::Abs: out = ops::abs(in(0)); break;
-        case Op::Add: out = ops::add(in(0), in(1)); break;
-        case Op::Sub: out = ops::sub(in(0), in(1)); break;
-        case Op::Mul: out = ops::mul(in(0), in(1)); break;
-        case Op::Div: out = ops::div(in(0), in(1)); break;
-        case Op::Min: out = ops::min(in(0), in(1)); break;
-        case Op::Max: out = ops::max(in(0), in(1)); break;
-        case Op::Mod: out = ops::mod(in(0), in(1)); break;
-        case Op::Lt: out = ops::lt(in(0), in(1)); break;
-        case Op::Le: out = ops::le(in(0), in(1)); break;
-        case Op::Gt: out = ops::gt(in(0), in(1)); break;
-        case Op::Ge: out = ops::ge(in(0), in(1)); break;
-        case Op::Eq: out = ops::eq(in(0), in(1)); break;
-        case Op::Ne: out = ops::ne(in(0), in(1)); break;
-        case Op::And: out = ops::logicalAnd(in(0), in(1)); break;
-        case Op::Or: out = ops::logicalOr(in(0), in(1)); break;
+      auto in = [&](int p) { return portValue(cl, p); };
+      switch (cl.op) {
         case Op::Merge: {
           const bool sel = in(0).asBoolean();
           out = in(sel ? 1 : 2);
-          consume(id, 0);
-          consume(id, sel ? 1 : 2);
+          consume(cl, 0);
+          consume(cl, sel ? 1 : 2);
           break;
         }
         case Op::Output: {
-          result.outputs[n.streamName].push_back(in(0));
-          result.outputTimes[n.streamName].push_back(now);
+          result.outputs[eg.streamName(cl)].push_back(in(0));
+          result.outputTimes[eg.streamName(cl)].push_back(now);
+          stop.onOutput(stopSlot[c]);
           break;
         }
         case Op::Sink: break;
-        case Op::AmStore: result.amFinal[n.streamName].push_back(in(0)); break;
-        default: VALPIPE_UNREACHABLE("unhandled op in machine engine");
+        case Op::AmStore: {
+          result.amFinal[eg.streamName(cl)].push_back(in(0));
+          // The store extends the region: matching fetchers may re-enable.
+          for (std::uint32_t f : eg.fetchersOf(cl)) wake(f, now + 1);
+          break;
+        }
+        default: out = exec::applyPure(cl.op, in); break;
       }
-      if (n.op != Op::Merge)
-        for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
-          consume(id, p);
+      if (cl.op != Op::Merge)
+        for (int p = 0; p < static_cast<int>(cl.numPorts); ++p) consume(cl, p);
     }
 
-    if (!out.has_value()) return;
-    if (opts.placement)
-      ++result.pePackets[static_cast<std::size_t>(opts.placement->of(id))];
-    const std::int64_t arrive = now + cfg.latencyOf(n.op) + cfg.routeDelay;
-    for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
-      Slot& s = d.port == dfg::kGatePort ? state[d.consumer.index].gate
-                                         : state[d.consumer.index].ports[d.port];
-      VALPIPE_CHECK_MSG(!s.full, "result packet delivered into occupied slot");
-      s.full = true;
-      s.v = *out;
-      // Packets between cells in different PEs traverse the distribution
-      // network (Fig. 1) and pay the extra hop.
-      std::int64_t at = arrive;
-      if (opts.placement &&
-          opts.placement->of(id) != opts.placement->of(d.consumer)) {
-        at += cfg.interPeDelay;
-        ++result.packets.networkResultPackets;
-      }
-      s.readyAt = at;
-      ++result.packets.resultPackets;
+    if (out.has_value()) {
+      router.noteFiring(c);
+      const std::int64_t arrive = now +
+                                  cfg.execLatency[static_cast<std::size_t>(cl.fu)] +
+                                  cfg.routeDelay;
+      deliver(eg.alwaysDests(cl), *out, c, arrive);
+      if (gateVal) deliver(eg.taggedDests(cl, *gateVal), *out, c, arrive);
     }
+    // A firing that consumed a port or filled a destination will be re-woken
+    // by the matching refill / acknowledge; only a firing with neither (a
+    // source with no destinations, an all-literal consumer, ...) can be
+    // enabled again at now + 1 with no further event.
+    if (!consumedAny && !deliveredAny) wake(c, now + 1);
   }
 
-  /// Tries to reserve a function unit of the op's class (phase A grant).
-  bool grantUnit(Op op) {
-    const auto c = static_cast<std::size_t>(dfg::fuClass(op));
-    if (cfg.fuUnits[c] == 0) {  // unlimited
-      result.fuBusy[c] += static_cast<std::uint64_t>(cfg.execLatency[c]);
-      return true;
-    }
-    for (std::int64_t& freeAt : fuFreeAt[c]) {
-      if (freeAt <= now) {
-        freeAt = now + cfg.execLatency[c];
-        result.fuBusy[c] += static_cast<std::uint64_t>(cfg.execLatency[c]);
-        return true;
-      }
-    }
-    return false;
+  std::int64_t settleWindow() const {
+    return exec::quiesceWindow(
+        cfg.routeDelay, cfg.ackDelay,
+        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()));
   }
 
-  bool outputsComplete() const {
-    if (opts.expectedOutputs.empty()) return false;
-    for (const auto& [name, want] : opts.expectedOutputs) {
-      auto it = result.outputs.find(name);
-      const std::int64_t have =
-          it == result.outputs.end()
-              ? 0
-              : static_cast<std::int64_t>(it->second.size());
-      if (have < want) return false;
-    }
-    return true;
+  void finish() {
+    if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
+    result.cycles = now;
+    result.fuBusy = fu.busy();
+    if (router.active()) result.pePackets = router.pePackets();
   }
 
-  void run() {
-    const std::size_t n = g.size();
-    std::vector<NodeId> toFire;
+  /// Original schedule: rescan all cells each instruction time with rotating
+  /// priority for fairness under FU contention.
+  void runSynchronous() {
+    const std::size_t n = eg.size();
+    std::vector<std::uint32_t> toFire;
     toFire.reserve(n);
-    // Quiescence: nothing fired for longer than any in-flight delay can span.
-    const std::int64_t settle =
-        2 + cfg.routeDelay + cfg.ackDelay +
-        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end());
+    const std::int64_t settle = settleWindow();
     std::int64_t idle = 0;
 
     for (now = 0; now < opts.maxCycles; ++now) {
-      // Phase A: enabling decisions against start-of-cycle state, with
-      // rotating priority for fairness under FU contention.
       toFire.clear();
-      const std::size_t start = static_cast<std::size_t>(now) % n;
+      const std::size_t start =
+          n == 0 ? 0 : static_cast<std::size_t>(now) % n;
       for (std::size_t k = 0; k < n; ++k) {
-        const NodeId id{static_cast<std::uint32_t>((start + k) % n)};
+        const auto id = static_cast<std::uint32_t>((start + k) % n);
         if (!enabled(id)) continue;
-        if (!grantUnit(g.node(id).op)) continue;
+        if (!fu.tryGrant(eg.cell(id).fu, now)) continue;
         toFire.push_back(id);
       }
-      // Phase B: apply.
-      for (NodeId id : toFire) fire(id);
+      for (std::uint32_t id : toFire) fire(id);
 
-      if (outputsComplete()) {
+      if (stop.outputsComplete()) {
         result.completed = true;
         ++now;
         break;
       }
       idle = toFire.empty() ? idle + 1 : 0;
       if (idle > settle) {
-        result.completed = opts.expectedOutputs.empty() || outputsComplete();
+        result.completed = stop.quiescentOk();
         if (!result.completed) result.note = "deadlock: outputs incomplete";
         break;
       }
     }
-    if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
-    result.cycles = now;
+    finish();
+  }
+
+  /// Event-driven schedule: advance directly to the next instruction time
+  /// with a woken cell; candidates are examined in the same rotating order
+  /// the rescan would use, so the two loops stay bit-identical.
+  void runEventDriven() {
+    const std::size_t n = eg.size();
+    const std::int64_t settle = settleWindow();
+    // Longest forward distance of any wake: a delivered packet's transit
+    // (execution + routing + the inter-PE hop), an acknowledge, or a
+    // function-unit release — the wheel must span it without aliasing.
+    const std::int64_t horizon =
+        std::max<std::int64_t>(std::max<std::int64_t>(1, cfg.ackDelay),
+                               *std::max_element(cfg.execLatency.begin(),
+                                                 cfg.execLatency.end()) +
+                                   cfg.routeDelay + cfg.interPeDelay);
+    exec::ReadyQueue queue(n, horizon);
+    rq = &queue;
+    for (std::uint32_t c = 0; c < n; ++c) queue.wake(c, 0);
+
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ordered;
+    std::vector<std::uint32_t> toFire;
+    cand.reserve(n);
+    ordered.reserve(n);
+    toFire.reserve(n);
+    std::vector<std::int64_t> candAt(n, -1);  ///< stamp for dense ordering
+    std::int64_t lastFire = -1;  // so the first quiescence break lands at
+                                 // `settle`, like an all-idle rescan
+    for (;;) {
+      const std::int64_t tQuiesce = lastFire + settle + 1;
+      if (queue.empty() || queue.nextTime() > tQuiesce) {
+        // Nothing can fire before the idle counter trips.
+        if (tQuiesce >= opts.maxCycles) {
+          now = opts.maxCycles;
+          break;
+        }
+        now = tQuiesce;
+        result.completed = stop.quiescentOk();
+        if (!result.completed) result.note = "deadlock: outputs incomplete";
+        break;
+      }
+      if (queue.nextTime() >= opts.maxCycles) {
+        now = opts.maxCycles;
+        break;
+      }
+      now = queue.pop(cand);
+
+      // Rotating priority: same scan order as the rescan starting at now % n.
+      const std::uint32_t start =
+          static_cast<std::uint32_t>(static_cast<std::size_t>(now) % n);
+      if (cand.size() * 8 >= n) {
+        // Dense step: stamp the candidates and collect them by one pass in
+        // rotation order — cheaper than sorting when most cells are awake.
+        for (std::uint32_t id : cand) candAt[id] = now;
+        ordered.clear();
+        for (std::size_t k = 0; k < n; ++k) {
+          const auto id = static_cast<std::uint32_t>(
+              (start + k) % static_cast<std::uint32_t>(n));
+          if (candAt[id] == now) ordered.push_back(id);
+        }
+        cand.swap(ordered);
+      } else {
+        std::sort(cand.begin(), cand.end(),
+                  [start, n](std::uint32_t a, std::uint32_t b) {
+                    const std::uint32_t ra =
+                        a >= start ? a - start
+                                   : a + static_cast<std::uint32_t>(n) - start;
+                    const std::uint32_t rb =
+                        b >= start ? b - start
+                                   : b + static_cast<std::uint32_t>(n) - start;
+                    return ra < rb;
+                  });
+      }
+      // Phase A: enabling + FU grants against start-of-cycle state.
+      toFire.clear();
+      for (std::uint32_t id : cand) {
+        if (!enabled(id)) continue;
+        const dfg::FuClass fc = eg.cell(id).fu;
+        if (fu.tryGrant(fc, now))
+          toFire.push_back(id);
+        else
+          wake(id, fu.nextFree(fc));  // retry when a unit frees
+      }
+      // Phase B: apply.
+      for (std::uint32_t id : toFire) fire(id);
+
+      if (!toFire.empty()) lastFire = now;
+      if (stop.outputsComplete()) {
+        result.completed = true;
+        ++now;
+        break;
+      }
+    }
+    rq = nullptr;
+    finish();
   }
 };
 
@@ -366,8 +461,16 @@ double MachineResult::steadyRate(const std::string& stream) const {
 
 MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
                        const StreamMap& inputs, const RunOptions& opts) {
-  Engine engine(lowered, cfg, inputs, opts);
-  engine.run();
+  if (opts.scheduler == SchedulerKind::Reference)
+    return simulateReference(lowered, cfg, inputs, opts);
+  VALPIPE_CHECK_MSG(dfg::isLowered(lowered),
+                    "machine engine requires lowered graph");
+  const ExecutableGraph eg(lowered);
+  Engine engine(eg, cfg, inputs, opts);
+  if (opts.scheduler == SchedulerKind::Synchronous)
+    engine.runSynchronous();
+  else
+    engine.runEventDriven();
   return std::move(engine.result);
 }
 

@@ -3,17 +3,27 @@
 // Instruction cells obey the §2/§3 firing discipline: a cell is enabled when
 // every required operand has arrived, the destinations of *this* firing are
 // free (its previous result packets have been acknowledged), and — under a
-// finite function-unit pool — a unit of its class is available.  The engine
-// steps synchronously in instruction times with two-phase update (enabling
-// decisions read the state at the start of the cycle), which yields exactly
-// the paper's maximum repetition rate of one firing per two instruction times
-// under the unit profile, and k/S for a feedback cycle of S stages carrying a
-// dependence distance of k.
+// finite function-unit pool — a unit of its class is available.  Enabling
+// decisions are two-phase (they read the state at the start of the
+// instruction time), which yields exactly the paper's maximum repetition rate
+// of one firing per two instruction times under the unit profile, and k/S for
+// a feedback cycle of S stages carrying a dependence distance of k.
+//
+// The simulator runs on a flattened exec::ExecutableGraph and offers three
+// schedulers with bit-identical results:
+//   - EventDriven (default): a cell is re-examined only when a token arrives,
+//     an acknowledge frees a destination, a function unit frees, or its own
+//     firing completes — work scales with firings, not cells x cycles;
+//   - Synchronous: rescans every cell each instruction time on the flat
+//     representation (diagnostic middle ground);
+//   - Reference: the original pointer-walking stepper over dfg::Graph, kept
+//     verbatim as the verification oracle and bench baseline.
 //
 // The graph must be lowered (dfg::expandFifos) so cell counts and rates refer
 // to real instruction cells.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -21,6 +31,7 @@
 #include <vector>
 
 #include "dfg/graph.hpp"
+#include "exec/packet_counters.hpp"
 #include "machine/config.hpp"
 #include "machine/placement.hpp"
 #include "support/value.hpp"
@@ -28,6 +39,17 @@
 namespace valpipe::machine {
 
 using StreamMap = std::map<std::string, std::vector<Value>>;
+
+/// Packet traffic counters (§2's packet communication architecture).
+using PacketCounters = exec::PacketCounters;
+
+/// Which scheduler drives the simulation.  All produce identical results;
+/// they differ only in how much work they spend finding enabled cells.
+enum class SchedulerKind {
+  EventDriven,  ///< ready-queue scheduler over the flattened graph (default)
+  Synchronous,  ///< full rescan each instruction time, flattened graph
+  Reference,    ///< the original dfg::Graph stepper (verification oracle)
+};
 
 struct RunOptions {
   int waves = 1;
@@ -39,38 +61,7 @@ struct RunOptions {
   /// Cell-to-PE assignment; result packets crossing PEs pay
   /// cfg.interPeDelay and are counted as distribution-network traffic.
   std::optional<Placement> placement;
-};
-
-/// Packet traffic counters (§2's packet communication architecture).
-struct PacketCounters {
-  std::array<std::uint64_t, 4> opPacketsByClass{};  ///< indexed by FuClass
-  std::uint64_t resultPackets = 0;
-  std::uint64_t ackPackets = 0;
-  /// Result packets that crossed processing elements through the
-  /// distribution network (only counted when a Placement is supplied).
-  std::uint64_t networkResultPackets = 0;
-
-  double networkShare() const {
-    return resultPackets == 0
-               ? 0.0
-               : static_cast<double>(networkResultPackets) /
-                     static_cast<double>(resultPackets);
-  }
-
-  std::uint64_t opPacketsTotal() const {
-    std::uint64_t s = 0;
-    for (auto v : opPacketsByClass) s += v;
-    return s;
-  }
-  /// Fraction of operation packets sent to the array memories (§2 claims
-  /// <= 1/8 for streaming application codes).
-  double amShare() const {
-    const auto total = opPacketsTotal();
-    return total == 0 ? 0.0
-                      : static_cast<double>(opPacketsByClass[static_cast<int>(
-                            dfg::FuClass::Am)]) /
-                            static_cast<double>(total);
-  }
+  SchedulerKind scheduler = SchedulerKind::EventDriven;
 };
 
 struct MachineResult {
@@ -96,8 +87,16 @@ struct MachineResult {
   double steadyRate(const std::string& stream) const;
 };
 
-/// Simulates `lowered` under `cfg`.
+/// Simulates `lowered` under `cfg` with the scheduler chosen in `opts`.
 MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
                        const StreamMap& inputs, const RunOptions& opts = {});
+
+/// The pre-ExecutableGraph synchronous stepper, kept verbatim: the oracle the
+/// event-driven scheduler is verified against (equivalent to passing
+/// SchedulerKind::Reference in `opts`).
+MachineResult simulateReference(const dfg::Graph& lowered,
+                                const MachineConfig& cfg,
+                                const StreamMap& inputs,
+                                const RunOptions& opts = {});
 
 }  // namespace valpipe::machine

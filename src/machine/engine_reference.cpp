@@ -1,0 +1,365 @@
+// The original synchronous stepper over dfg::Graph, kept verbatim.
+//
+// This is the pre-ExecutableGraph engine: it rescans every cell each
+// instruction time and re-derives destination lists through dfg::Wiring.  It
+// serves two purposes: (a) verification oracle — the equivalence tests assert
+// the event-driven scheduler reproduces its MachineResult bit-for-bit; and
+// (b) bench baseline — bench_engine_scaling reports the flattened engines'
+// speedup against it.  Do not optimize this file; its value is that it stays
+// the same.
+#include <algorithm>
+#include <optional>
+
+#include "dfg/lower.hpp"
+#include "machine/engine.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::machine {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::Wiring;
+
+namespace {
+
+/// One operand slot at a consumer port: holds at most one result packet, per
+/// the static architecture's "at most one instance of each instruction is
+/// active" discipline.
+struct Slot {
+  bool full = false;
+  Value v{};
+  std::int64_t readyAt = 0;  ///< when the packet becomes usable (routing)
+  std::int64_t freedAt = 0;  ///< when the producer sees the acknowledge
+};
+
+struct CellState {
+  std::vector<Slot> ports;
+  Slot gate;
+  std::int64_t emitted = 0;
+  std::int64_t busyUntil = 0;  ///< cell cannot refire before this time
+};
+
+struct ReferenceEngine {
+  const Graph& g;
+  const MachineConfig& cfg;
+  const Wiring wiring;
+  const StreamMap& inputs;
+  const RunOptions& opts;
+
+  std::vector<CellState> state;
+  std::array<std::vector<std::int64_t>, 4> fuFreeAt;  ///< per class unit pool
+  MachineResult result;
+  std::int64_t now = 0;
+
+  ReferenceEngine(const Graph& graph, const MachineConfig& config,
+                  const StreamMap& in, const RunOptions& o)
+      : g(graph), cfg(config), wiring(graph), inputs(in), opts(o) {
+    VALPIPE_CHECK_MSG(dfg::isLowered(g), "machine engine requires lowered graph");
+    state.resize(g.size());
+    result.firings.assign(g.size(), 0);
+    for (NodeId id : g.ids()) {
+      const Node& n = g.node(id);
+      state[id.index].ports.resize(n.inputs.size());
+      // Load-time tokens (counter-loop bootstraps): present at t = 0.
+      for (std::size_t p = 0; p < n.inputs.size(); ++p)
+        if (n.inputs[p].initial) {
+          Slot& s = state[id.index].ports[p];
+          s.full = true;
+          s.v = *n.inputs[p].initial;
+        }
+      if (n.gate && n.gate->initial) {
+        state[id.index].gate.full = true;
+        state[id.index].gate.v = *n.gate->initial;
+      }
+    }
+    for (int c = 0; c < 4; ++c) {
+      const int units = cfg.fuUnits[c];
+      fuFreeAt[c].assign(static_cast<std::size_t>(std::max(units, 0)), 0);
+    }
+    result.amFinal = opts.amInitial;
+    // Fetched regions must exist even when nothing is pre-loaded (stores
+    // fill them during the run).
+    for (NodeId id : g.ids())
+      if (g.node(id).op == Op::AmFetch) result.amFinal[g.node(id).streamName];
+    if (opts.placement) {
+      VALPIPE_CHECK_MSG(opts.placement->peOf.size() == g.size(),
+                        "placement does not match the graph");
+      result.pePackets.assign(static_cast<std::size_t>(opts.placement->peCount),
+                              0);
+    }
+  }
+
+  std::int64_t sourceLimit(const Node& n) const {
+    std::int64_t perWave = n.tokensPerWave;
+    if (n.op == Op::Input) {
+      auto it = inputs.find(n.streamName);
+      VALPIPE_CHECK_MSG(it != inputs.end(),
+                        "missing input stream '" + n.streamName + "'");
+      VALPIPE_CHECK_MSG(
+          static_cast<std::int64_t>(it->second.size()) == perWave,
+          "input '" + n.streamName + "' has wrong length");
+    }
+    if (n.op == Op::AmFetch) {
+      // Reads the region sequentially as stores fill it: the limit is
+      // whatever is available now, capped at one region read per wave.
+      auto it = result.amFinal.find(n.streamName);
+      VALPIPE_CHECK_MSG(it != result.amFinal.end(),
+                        "missing array-memory contents '" + n.streamName + "'");
+      return std::min<std::int64_t>(
+          perWave * opts.waves, static_cast<std::int64_t>(it->second.size()));
+    }
+    return perWave * opts.waves;
+  }
+
+  Value sourceValue(const Node& n, std::int64_t k) const {
+    const std::int64_t j = k % n.tokensPerWave;
+    switch (n.op) {
+      case Op::Input: return inputs.at(n.streamName)[static_cast<std::size_t>(j)];
+      case Op::BoolSeq:
+        return Value(static_cast<bool>(n.pattern.bits[static_cast<std::size_t>(j)]));
+      case Op::IndexSeq:
+        return Value(n.seqLo +
+                     (j / n.seqRepeat) % (n.seqHi - n.seqLo + 1));
+      case Op::AmFetch:
+        return result.amFinal.at(n.streamName)[static_cast<std::size_t>(k)];
+      default: VALPIPE_UNREACHABLE("not a source");
+    }
+  }
+
+  bool slotReady(const Slot& s) const { return s.full && s.readyAt <= now; }
+  bool slotFree(const Slot& s) const { return !s.full && s.freedAt <= now; }
+
+  bool portReady(NodeId id, int port) const {
+    const Node& n = g.node(id);
+    if (port == dfg::kGatePort)
+      return n.gate->isLiteral() || slotReady(state[id.index].gate);
+    return n.inputs[port].isLiteral() || slotReady(state[id.index].ports[port]);
+  }
+
+  Value portValue(NodeId id, int port) const {
+    const Node& n = g.node(id);
+    if (port == dfg::kGatePort)
+      return n.gate->isLiteral() ? n.gate->literal : state[id.index].gate.v;
+    return n.inputs[port].isLiteral() ? n.inputs[port].literal
+                                      : state[id.index].ports[port].v;
+  }
+
+  /// Destination slots this firing would deliver to must all be free.
+  bool destsFree(NodeId id, std::optional<bool> gateVal) const {
+    for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
+      const Slot& s = d.port == dfg::kGatePort ? state[d.consumer.index].gate
+                                               : state[d.consumer.index].ports[d.port];
+      if (!slotFree(s)) return false;
+    }
+    return true;
+  }
+
+  /// Enabled test (phase A, reads only start-of-cycle state).
+  bool enabled(NodeId id) const {
+    const Node& n = g.node(id);
+    const CellState& cs = state[id.index];
+    if (cs.busyUntil > now) return false;
+
+    if (dfg::isSource(n.op)) {
+      if (cs.emitted >= sourceLimit(n)) return false;
+      return destsFree(id, std::nullopt);
+    }
+    std::optional<bool> gateVal;
+    if (n.gate) {
+      if (!portReady(id, dfg::kGatePort)) return false;
+      gateVal = portValue(id, dfg::kGatePort).asBoolean();
+    }
+    if (n.op == Op::Merge) {
+      if (!portReady(id, 0)) return false;
+      const bool sel = portValue(id, 0).asBoolean();
+      if (!portReady(id, sel ? 1 : 2)) return false;
+    } else {
+      for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
+        if (!portReady(id, p)) return false;
+    }
+    if (!dfg::producesResult(n.op)) return true;
+    return destsFree(id, gateVal);
+  }
+
+  void consume(NodeId id, int port) {
+    const Node& n = g.node(id);
+    Slot& s = port == dfg::kGatePort ? state[id.index].gate
+                                     : state[id.index].ports[port];
+    const bool literal = port == dfg::kGatePort ? n.gate->isLiteral()
+                                                : n.inputs[port].isLiteral();
+    if (literal) return;
+    s.full = false;
+    s.freedAt = now + cfg.ackDelay;
+    ++result.packets.ackPackets;
+  }
+
+  /// Phase B: applies the firing of `id` at time `now`.
+  void fire(NodeId id) {
+    const Node& n = g.node(id);
+    CellState& cs = state[id.index];
+    ++result.firings[id.index];
+    ++result.totalFirings;
+    ++result.packets.opPacketsByClass[static_cast<std::size_t>(dfg::fuClass(n.op))];
+    cs.busyUntil = now + 1;
+
+    std::optional<Value> out;
+    std::optional<bool> gateVal;
+
+    if (dfg::isSource(n.op)) {
+      out = sourceValue(n, cs.emitted);
+      ++cs.emitted;
+    } else {
+      if (n.gate) {
+        gateVal = portValue(id, dfg::kGatePort).asBoolean();
+        consume(id, dfg::kGatePort);
+      }
+      auto in = [&](int p) { return portValue(id, p); };
+      switch (n.op) {
+        case Op::Id: out = in(0); break;
+        case Op::Not: out = ops::logicalNot(in(0)); break;
+        case Op::Neg: out = ops::neg(in(0)); break;
+        case Op::Abs: out = ops::abs(in(0)); break;
+        case Op::Add: out = ops::add(in(0), in(1)); break;
+        case Op::Sub: out = ops::sub(in(0), in(1)); break;
+        case Op::Mul: out = ops::mul(in(0), in(1)); break;
+        case Op::Div: out = ops::div(in(0), in(1)); break;
+        case Op::Min: out = ops::min(in(0), in(1)); break;
+        case Op::Max: out = ops::max(in(0), in(1)); break;
+        case Op::Mod: out = ops::mod(in(0), in(1)); break;
+        case Op::Lt: out = ops::lt(in(0), in(1)); break;
+        case Op::Le: out = ops::le(in(0), in(1)); break;
+        case Op::Gt: out = ops::gt(in(0), in(1)); break;
+        case Op::Ge: out = ops::ge(in(0), in(1)); break;
+        case Op::Eq: out = ops::eq(in(0), in(1)); break;
+        case Op::Ne: out = ops::ne(in(0), in(1)); break;
+        case Op::And: out = ops::logicalAnd(in(0), in(1)); break;
+        case Op::Or: out = ops::logicalOr(in(0), in(1)); break;
+        case Op::Merge: {
+          const bool sel = in(0).asBoolean();
+          out = in(sel ? 1 : 2);
+          consume(id, 0);
+          consume(id, sel ? 1 : 2);
+          break;
+        }
+        case Op::Output: {
+          result.outputs[n.streamName].push_back(in(0));
+          result.outputTimes[n.streamName].push_back(now);
+          break;
+        }
+        case Op::Sink: break;
+        case Op::AmStore: result.amFinal[n.streamName].push_back(in(0)); break;
+        default: VALPIPE_UNREACHABLE("unhandled op in machine engine");
+      }
+      if (n.op != Op::Merge)
+        for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
+          consume(id, p);
+    }
+
+    if (!out.has_value()) return;
+    if (opts.placement)
+      ++result.pePackets[static_cast<std::size_t>(opts.placement->of(id))];
+    const std::int64_t arrive = now + cfg.latencyOf(n.op) + cfg.routeDelay;
+    for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
+      Slot& s = d.port == dfg::kGatePort ? state[d.consumer.index].gate
+                                         : state[d.consumer.index].ports[d.port];
+      VALPIPE_CHECK_MSG(!s.full, "result packet delivered into occupied slot");
+      s.full = true;
+      s.v = *out;
+      // Packets between cells in different PEs traverse the distribution
+      // network (Fig. 1) and pay the extra hop.
+      std::int64_t at = arrive;
+      if (opts.placement &&
+          opts.placement->of(id) != opts.placement->of(d.consumer)) {
+        at += cfg.interPeDelay;
+        ++result.packets.networkResultPackets;
+      }
+      s.readyAt = at;
+      ++result.packets.resultPackets;
+    }
+  }
+
+  /// Tries to reserve a function unit of the op's class (phase A grant).
+  bool grantUnit(Op op) {
+    const auto c = static_cast<std::size_t>(dfg::fuClass(op));
+    if (cfg.fuUnits[c] == 0) {  // unlimited
+      result.fuBusy[c] += static_cast<std::uint64_t>(cfg.execLatency[c]);
+      return true;
+    }
+    for (std::int64_t& freeAt : fuFreeAt[c]) {
+      if (freeAt <= now) {
+        freeAt = now + cfg.execLatency[c];
+        result.fuBusy[c] += static_cast<std::uint64_t>(cfg.execLatency[c]);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool outputsComplete() const {
+    if (opts.expectedOutputs.empty()) return false;
+    for (const auto& [name, want] : opts.expectedOutputs) {
+      auto it = result.outputs.find(name);
+      const std::int64_t have =
+          it == result.outputs.end()
+              ? 0
+              : static_cast<std::int64_t>(it->second.size());
+      if (have < want) return false;
+    }
+    return true;
+  }
+
+  void run() {
+    const std::size_t n = g.size();
+    std::vector<NodeId> toFire;
+    toFire.reserve(n);
+    // Quiescence: nothing fired for longer than any in-flight delay can span.
+    const std::int64_t settle =
+        2 + cfg.routeDelay + cfg.ackDelay +
+        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end());
+    std::int64_t idle = 0;
+
+    for (now = 0; now < opts.maxCycles; ++now) {
+      // Phase A: enabling decisions against start-of-cycle state, with
+      // rotating priority for fairness under FU contention.
+      toFire.clear();
+      const std::size_t start = static_cast<std::size_t>(now) % n;
+      for (std::size_t k = 0; k < n; ++k) {
+        const NodeId id{static_cast<std::uint32_t>((start + k) % n)};
+        if (!enabled(id)) continue;
+        if (!grantUnit(g.node(id).op)) continue;
+        toFire.push_back(id);
+      }
+      // Phase B: apply.
+      for (NodeId id : toFire) fire(id);
+
+      if (outputsComplete()) {
+        result.completed = true;
+        ++now;
+        break;
+      }
+      idle = toFire.empty() ? idle + 1 : 0;
+      if (idle > settle) {
+        result.completed = opts.expectedOutputs.empty() || outputsComplete();
+        if (!result.completed) result.note = "deadlock: outputs incomplete";
+        break;
+      }
+    }
+    if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
+    result.cycles = now;
+  }
+};
+
+}  // namespace
+
+MachineResult simulateReference(const dfg::Graph& lowered,
+                                const MachineConfig& cfg,
+                                const StreamMap& inputs,
+                                const RunOptions& opts) {
+  ReferenceEngine engine(lowered, cfg, inputs, opts);
+  engine.run();
+  return std::move(engine.result);
+}
+
+}  // namespace valpipe::machine

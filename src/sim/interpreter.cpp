@@ -3,237 +3,190 @@
 #include <deque>
 #include <optional>
 
+#include "exec/executable_graph.hpp"
+#include "exec/ops.hpp"
 #include "support/check.hpp"
 
 namespace valpipe::sim {
 
-using dfg::Graph;
-using dfg::Node;
-using dfg::NodeId;
 using dfg::Op;
-using dfg::OutTag;
-using dfg::PortSrc;
-using dfg::Wiring;
+using exec::Cell;
+using exec::ExecutableGraph;
 
 namespace {
 
-/// Per-node dynamic state.
-struct NodeState {
-  std::vector<std::deque<Value>> ports;  ///< queues for arc-fed operands
-  std::deque<Value> gateQueue;
-  std::int64_t emitted = 0;  ///< source nodes: tokens produced so far
-};
-
+/// Worklist engine over the flattened graph: dynamic state is one unbounded
+/// token queue per flat operand slot plus an emitted counter per source cell.
 struct Engine {
-  const Graph& g;
-  const Wiring wiring;
+  const ExecutableGraph& eg;
   const StreamMap& inputs;
   const RunOptions& opts;
-  std::vector<NodeState> state;
+
+  std::vector<std::deque<Value>> queues;  ///< indexed by flat slot
+  std::vector<std::int64_t> emitted;      ///< per cell (sources only)
   RunResult result;
 
-  std::map<std::string, std::vector<NodeId>> fetchersByName;
-
-  Engine(const Graph& graph, const StreamMap& in, const RunOptions& o)
-      : g(graph), wiring(graph), inputs(in), opts(o) {
-    state.resize(g.size());
-    for (NodeId id : g.ids()) {
-      const Node& n = g.node(id);
-      state[id.index].ports.resize(n.inputs.size());
-      // Load-time tokens (counter-loop bootstraps).
-      for (std::size_t p = 0; p < n.inputs.size(); ++p)
-        if (n.inputs[p].initial)
-          state[id.index].ports[p].push_back(*n.inputs[p].initial);
-      if (n.gate && n.gate->initial)
-        state[id.index].gateQueue.push_back(*n.gate->initial);
-      // AmFetch consumes array-memory contents as they are stored, so a
-      // store must re-awaken the matching fetchers.
-      if (n.op == Op::AmFetch) fetchersByName[n.streamName].push_back(id);
-    }
+  Engine(const ExecutableGraph& graph, const StreamMap& in, const RunOptions& o)
+      : eg(graph), inputs(in), opts(o) {
+    queues.resize(eg.slotCount());
+    emitted.assign(eg.size(), 0);
+    // Load-time tokens (counter-loop bootstraps).
+    for (std::uint32_t s = 0; s < eg.slotCount(); ++s)
+      if (eg.operandAt(s).hasInitial) queues[s].push_back(eg.operandAt(s).initial);
     result.amFinal = opts.amInitial;
     // Fetched regions must exist even when nothing is pre-loaded (stores
     // fill them during the run).
-    for (const auto& [name, ids] : fetchersByName) result.amFinal[name];
+    for (std::uint32_t c = 0; c < eg.size(); ++c)
+      if (eg.cell(c).op == Op::AmFetch) result.amFinal[eg.streamName(eg.cell(c))];
   }
 
   /// Number of tokens a source emits over the whole run.
-  std::int64_t sourceLimit(const Node& n) const {
+  std::int64_t sourceLimit(const Cell& n) const {
     std::int64_t perWave = n.tokensPerWave;
     if (n.op == Op::Input) {
-      auto it = inputs.find(n.streamName);
+      const std::string& name = eg.streamName(n);
+      auto it = inputs.find(name);
       VALPIPE_CHECK_MSG(it != inputs.end(),
-                        "missing input stream '" + n.streamName + "'");
+                        "missing input stream '" + name + "'");
       VALPIPE_CHECK_MSG(
           static_cast<std::int64_t>(it->second.size()) == perWave,
-          "input '" + n.streamName + "' has wrong length");
+          "input '" + name + "' has wrong length");
     }
     if (n.op == Op::AmFetch) {
       // Reads the region sequentially as stores fill it: the limit is
       // whatever is available now, capped at one region read per wave.
-      auto it = result.amFinal.find(n.streamName);
+      const std::string& name = eg.streamName(n);
+      auto it = result.amFinal.find(name);
       VALPIPE_CHECK_MSG(it != result.amFinal.end(),
-                        "missing array-memory contents '" + n.streamName + "'");
+                        "missing array-memory contents '" + name + "'");
       return std::min<std::int64_t>(
           perWave * opts.waves, static_cast<std::int64_t>(it->second.size()));
     }
     return perWave * opts.waves;
   }
 
-  Value sourceValue(const Node& n, std::int64_t k) const {
-    const std::int64_t perWave = n.tokensPerWave;
-    const std::int64_t j = k % perWave;
+  Value sourceValue(const Cell& n, std::int64_t k) const {
+    const std::int64_t j = k % n.tokensPerWave;
     switch (n.op) {
       case Op::Input:
-        return inputs.at(n.streamName)[static_cast<std::size_t>(j)];
-      case Op::BoolSeq:
-        return Value(static_cast<bool>(n.pattern.bits[static_cast<std::size_t>(j)]));
+        return inputs.at(eg.streamName(n))[static_cast<std::size_t>(j)];
+      case Op::BoolSeq: return Value(eg.patternBit(n, j));
       case Op::IndexSeq:
-        return Value(n.seqLo +
-                     (j / n.seqRepeat) % (n.seqHi - n.seqLo + 1));
+        return Value(n.seqLo + (j / n.seqRepeat) % (n.seqHi - n.seqLo + 1));
       case Op::AmFetch:
-        return result.amFinal.at(n.streamName)[static_cast<std::size_t>(k)];
-      default:
-        VALPIPE_UNREACHABLE("not a source");
+        return result.amFinal.at(eg.streamName(n))[static_cast<std::size_t>(k)];
+      default: VALPIPE_UNREACHABLE("not a source");
     }
   }
 
-  bool portAvailable(NodeId id, int port) const {
-    const Node& n = g.node(id);
-    if (port == dfg::kGatePort)
-      return !n.gate || n.gate->isLiteral() || !state[id.index].gateQueue.empty();
-    const PortSrc& src = n.inputs[port];
-    return src.isLiteral() || !state[id.index].ports[port].empty();
+  bool portAvailable(const Cell& n, int port) const {
+    if (port == exec::kGatePort && !n.hasGate) return true;
+    const exec::Operand& src = eg.operand(n, port);
+    return src.isLiteral() || !queues[eg.slotOf(n, port)].empty();
   }
 
-  Value peekPort(NodeId id, int port) const {
-    const Node& n = g.node(id);
-    if (port == dfg::kGatePort) {
-      if (n.gate->isLiteral()) return n.gate->literal;
-      return state[id.index].gateQueue.front();
-    }
-    const PortSrc& src = n.inputs[port];
+  Value peekPort(const Cell& n, int port) const {
+    const exec::Operand& src = eg.operand(n, port);
     if (src.isLiteral()) return src.literal;
-    return state[id.index].ports[port].front();
+    return queues[eg.slotOf(n, port)].front();
   }
 
-  void popPort(NodeId id, int port) {
-    const Node& n = g.node(id);
-    if (port == dfg::kGatePort) {
-      if (!n.gate->isLiteral()) state[id.index].gateQueue.pop_front();
-      return;
-    }
-    if (!n.inputs[port].isLiteral()) state[id.index].ports[port].pop_front();
+  void popPort(const Cell& n, int port) {
+    if (!eg.operand(n, port).isLiteral()) queues[eg.slotOf(n, port)].pop_front();
   }
 
-  bool canFire(NodeId id) const {
-    const Node& n = g.node(id);
-    if (dfg::isSource(n.op)) return state[id.index].emitted < sourceLimit(n);
-    if (n.gate && !portAvailable(id, dfg::kGatePort)) return false;
+  bool canFire(std::uint32_t id) const {
+    const Cell& n = eg.cell(id);
+    if (dfg::isSource(n.op)) return emitted[id] < sourceLimit(n);
+    if (n.hasGate && !portAvailable(n, exec::kGatePort)) return false;
     if (n.op == Op::Merge) {
-      if (!portAvailable(id, 0)) return false;
-      const bool sel = peekPort(id, 0).asBoolean();
-      return portAvailable(id, sel ? 1 : 2);
+      if (!portAvailable(n, 0)) return false;
+      const bool sel = peekPort(n, 0).asBoolean();
+      return portAvailable(n, sel ? 1 : 2);
     }
-    for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
-      if (!portAvailable(id, p)) return false;
+    for (int p = 0; p < static_cast<int>(n.numPorts); ++p)
+      if (!portAvailable(n, p)) return false;
     return true;
   }
 
   /// Fires `id`; returns consumers that gained a token (for the worklist).
-  std::vector<NodeId> fire(NodeId id) {
-    const Node& n = g.node(id);
+  std::vector<std::uint32_t> fire(std::uint32_t id) {
+    const Cell& n = eg.cell(id);
     std::optional<Value> out;
     std::optional<bool> gateVal;
 
     if (dfg::isSource(n.op)) {
-      out = sourceValue(n, state[id.index].emitted);
-      ++state[id.index].emitted;
+      out = sourceValue(n, emitted[id]);
+      ++emitted[id];
     } else {
-      if (n.gate) {
-        gateVal = peekPort(id, dfg::kGatePort).asBoolean();
-        popPort(id, dfg::kGatePort);
+      if (n.hasGate) {
+        gateVal = peekPort(n, exec::kGatePort).asBoolean();
+        popPort(n, exec::kGatePort);
       }
-      auto in = [&](int p) { return peekPort(id, p); };
+      auto in = [&](int p) { return peekPort(n, p); };
       switch (n.op) {
-        case Op::Id:
-        case Op::Fifo: out = in(0); break;
-        case Op::Not: out = ops::logicalNot(in(0)); break;
-        case Op::Neg: out = ops::neg(in(0)); break;
-        case Op::Abs: out = ops::abs(in(0)); break;
-        case Op::Add: out = ops::add(in(0), in(1)); break;
-        case Op::Sub: out = ops::sub(in(0), in(1)); break;
-        case Op::Mul: out = ops::mul(in(0), in(1)); break;
-        case Op::Div: out = ops::div(in(0), in(1)); break;
-        case Op::Min: out = ops::min(in(0), in(1)); break;
-        case Op::Max: out = ops::max(in(0), in(1)); break;
-        case Op::Mod: out = ops::mod(in(0), in(1)); break;
-        case Op::Lt: out = ops::lt(in(0), in(1)); break;
-        case Op::Le: out = ops::le(in(0), in(1)); break;
-        case Op::Gt: out = ops::gt(in(0), in(1)); break;
-        case Op::Ge: out = ops::ge(in(0), in(1)); break;
-        case Op::Eq: out = ops::eq(in(0), in(1)); break;
-        case Op::Ne: out = ops::ne(in(0), in(1)); break;
-        case Op::And: out = ops::logicalAnd(in(0), in(1)); break;
-        case Op::Or: out = ops::logicalOr(in(0), in(1)); break;
         case Op::Merge: {
           const bool sel = in(0).asBoolean();
           out = in(sel ? 1 : 2);
-          popPort(id, 0);
-          popPort(id, sel ? 1 : 2);
+          popPort(n, 0);
+          popPort(n, sel ? 1 : 2);
           break;
         }
         case Op::Output:
-          result.outputs[n.streamName].push_back(in(0));
+          result.outputs[eg.streamName(n)].push_back(in(0));
           break;
         case Op::Sink: break;
-        case Op::AmStore: result.amFinal[n.streamName].push_back(in(0)); break;
-        default: VALPIPE_UNREACHABLE("unhandled op in interpreter");
+        case Op::AmStore:
+          result.amFinal[eg.streamName(n)].push_back(in(0));
+          break;
+        default: out = exec::applyPure(n.op, in); break;
       }
       if (n.op != Op::Merge)
-        for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p)
-          popPort(id, p);
+        for (int p = 0; p < static_cast<int>(n.numPorts); ++p) popPort(n, p);
     }
 
-    std::vector<NodeId> touched;
+    std::vector<std::uint32_t> touched;
     if (n.op == Op::AmStore) {
-      auto it = fetchersByName.find(n.streamName);
-      if (it != fetchersByName.end())
-        touched.insert(touched.end(), it->second.begin(), it->second.end());
+      // AmFetch consumes array-memory contents as they are stored, so a
+      // store must re-awaken the matching fetchers.
+      const auto& fetchers = eg.fetchersOf(n);
+      touched.insert(touched.end(), fetchers.begin(), fetchers.end());
     }
     if (out.has_value()) {
-      for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
-        if (d.port == dfg::kGatePort)
-          state[d.consumer.index].gateQueue.push_back(*out);
-        else
-          state[d.consumer.index].ports[d.port].push_back(*out);
-        touched.push_back(d.consumer);
-      }
+      auto deliver = [&](exec::DestSpan span) {
+        for (const exec::Dest& d : span) {
+          queues[d.slot].push_back(*out);
+          touched.push_back(d.consumer);
+        }
+      };
+      deliver(eg.alwaysDests(n));
+      if (gateVal.has_value()) deliver(eg.taggedDests(n, *gateVal));
     }
     return touched;
   }
 
   void run() {
-    std::deque<NodeId> work;
-    std::vector<char> queued(g.size(), 0);
-    auto enqueue = [&](NodeId id) {
-      if (!queued[id.index]) {
-        queued[id.index] = 1;
+    std::deque<std::uint32_t> work;
+    std::vector<char> queued(eg.size(), 0);
+    auto enqueue = [&](std::uint32_t id) {
+      if (!queued[id]) {
+        queued[id] = 1;
         work.push_back(id);
       }
     };
-    for (NodeId id : g.ids()) enqueue(id);
+    for (std::uint32_t id = 0; id < eg.size(); ++id) enqueue(id);
 
     while (!work.empty()) {
-      const NodeId id = work.front();
+      const std::uint32_t id = work.front();
       work.pop_front();
-      queued[id.index] = 0;
+      queued[id] = 0;
       while (canFire(id)) {
         ++result.firings;
         if (result.firings > opts.maxFirings) {
           result.note = "maxFirings exceeded (livelock?)";
           return;
         }
-        for (NodeId t : fire(id)) enqueue(t);
+        for (std::uint32_t t : fire(id)) enqueue(t);
       }
     }
     result.quiescent = true;
@@ -242,9 +195,10 @@ struct Engine {
 
 }  // namespace
 
-RunResult interpret(const Graph& g, const StreamMap& inputs,
+RunResult interpret(const dfg::Graph& g, const StreamMap& inputs,
                     const RunOptions& opts) {
-  Engine engine(g, inputs, opts);
+  const ExecutableGraph eg(g);
+  Engine engine(eg, inputs, opts);
   engine.run();
   return std::move(engine.result);
 }

@@ -1,0 +1,224 @@
+// Scheduler-equivalence suite: on randomly generated Val programs (primitive
+// expressions, forall and for-iter blocks) the event-driven scheduler must
+// produce a MachineResult bit-identical to the reference stepper — every
+// field, not just outputs — under varied timing profiles, finite FU pools,
+// placements and multi-wave runs; and the outputs must match the functional
+// reference evaluator while sustaining the compiler's predicted steady rate
+// (1/2 for pipelines, 1/3 for Todd's scheme, k/S for a cycle of S stages
+// carrying k tokens).
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "dfg/lower.hpp"
+#include "generators.hpp"
+#include "machine/engine.hpp"
+#include "machine/placement.hpp"
+#include "testing.hpp"
+#include "val/eval.hpp"
+
+namespace valpipe {
+namespace {
+
+using core::CompileOptions;
+using core::ForIterScheme;
+using machine::MachineConfig;
+using machine::MachineResult;
+using machine::RunOptions;
+using machine::SchedulerKind;
+using testing::GenOptions;
+using testing::ProgramGen;
+using testing::randomArray;
+
+/// Asserts two MachineResults are identical in every observable field.
+void expectIdentical(const MachineResult& got, const MachineResult& want,
+                     const std::string& what) {
+  EXPECT_EQ(got.outputs, want.outputs) << what << ": outputs";
+  EXPECT_EQ(got.amFinal, want.amFinal) << what << ": amFinal";
+  EXPECT_EQ(got.outputTimes, want.outputTimes) << what << ": outputTimes";
+  EXPECT_EQ(got.firings, want.firings) << what << ": firings";
+  EXPECT_EQ(got.totalFirings, want.totalFirings) << what << ": totalFirings";
+  EXPECT_EQ(got.cycles, want.cycles) << what << ": cycles";
+  EXPECT_EQ(got.completed, want.completed) << what << ": completed";
+  EXPECT_EQ(got.note, want.note) << what << ": note";
+  EXPECT_EQ(got.packets.opPacketsByClass, want.packets.opPacketsByClass)
+      << what << ": opPacketsByClass";
+  EXPECT_EQ(got.packets.resultPackets, want.packets.resultPackets)
+      << what << ": resultPackets";
+  EXPECT_EQ(got.packets.ackPackets, want.packets.ackPackets)
+      << what << ": ackPackets";
+  EXPECT_EQ(got.packets.networkResultPackets,
+            want.packets.networkResultPackets)
+      << what << ": networkResultPackets";
+  EXPECT_EQ(got.fuBusy, want.fuBusy) << what << ": fuBusy";
+  EXPECT_EQ(got.pePackets, want.pePackets) << what << ": pePackets";
+}
+
+/// Runs all three schedulers on the same workload and checks the flattened
+/// ones against the reference stepper field-by-field.
+MachineResult runAllSchedulers(const dfg::Graph& lowered,
+                               const MachineConfig& cfg,
+                               const machine::StreamMap& in, RunOptions opts,
+                               const std::string& what) {
+  opts.scheduler = SchedulerKind::Reference;
+  const MachineResult ref = machine::simulate(lowered, cfg, in, opts);
+  opts.scheduler = SchedulerKind::EventDriven;
+  const MachineResult ed = machine::simulate(lowered, cfg, in, opts);
+  opts.scheduler = SchedulerKind::Synchronous;
+  const MachineResult sync = machine::simulate(lowered, cfg, in, opts);
+  expectIdentical(ed, ref, what + " [event-driven vs reference]");
+  expectIdentical(sync, ref, what + " [synchronous vs reference]");
+  return ref;
+}
+
+val::ArrayMap genInputs(const val::Module& mod, unsigned seed) {
+  val::ArrayMap in;
+  unsigned k = 0;
+  for (const val::Param& p : mod.params)
+    in[p.name] = randomArray(*p.type.range, seed + 100 * k++, 0.0, 1.0);
+  return in;
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerEquivalence, RandomProgramsBitIdenticalAcrossSchedulers) {
+  const int p = GetParam();
+  GenOptions gopts;
+  gopts.blocks = 1 + p % 3;
+  gopts.m = 8 + p % 5;
+  ProgramGen gen(static_cast<unsigned>(p) * 271 + 9, gopts);
+  const std::string src = gen.module();
+  SCOPED_TRACE(src);
+
+  val::Module mod = core::frontend(src);
+  const val::ArrayMap in = genInputs(mod, static_cast<unsigned>(p));
+  const auto ref = val::evaluate(mod, in);
+  const auto prog = core::compile(mod);
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  const machine::StreamMap streams = testing::inputsFor(prog, in);
+
+  struct Variant {
+    std::string name;
+    MachineConfig cfg;
+    int waves = 1;
+    int peCount = 0;  // 0 => no placement
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"unit", MachineConfig::unit(), 1, 0});
+  variants.push_back({"hardware", MachineConfig::hardware(), 1, 0});
+  {
+    MachineConfig finite = MachineConfig::hardware(/*fpus=*/2, /*alus=*/2,
+                                                   /*ams=*/1);
+    variants.push_back({"finite-fus", finite, 1, 0});
+  }
+  variants.push_back({"placed", MachineConfig::hardware(), 1, 3});
+  variants.push_back({"waves", MachineConfig::unit(), 2, 0});
+
+  for (const Variant& v : variants) {
+    RunOptions opts;
+    opts.waves = v.waves;
+    opts.expectedOutputs[prog.outputName] =
+        prog.expectedOutputPerWave() * v.waves;
+    if (v.peCount > 0) {
+      MachineConfig cfg = v.cfg;
+      cfg.interPeDelay = 2;
+      opts.placement = machine::assignCells(
+          lowered, v.peCount, machine::PlacementStrategy::RoundRobin);
+      const MachineResult res =
+          runAllSchedulers(lowered, cfg, streams, opts, v.name);
+      ASSERT_TRUE(res.completed) << v.name << ": " << res.note;
+      continue;
+    }
+    const MachineResult res =
+        runAllSchedulers(lowered, v.cfg, streams, opts, v.name);
+    ASSERT_TRUE(res.completed) << v.name << ": " << res.note;
+    // Functional ground truth: outputs equal the reference evaluator's.
+    std::vector<Value> want;
+    for (int w = 0; w < v.waves; ++w)
+      want.insert(want.end(), ref.result.elems.begin(),
+                  ref.result.elems.end());
+    testing::expectStreamNear(res.outputs.at(prog.outputName), want, 1e-7,
+                              v.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerEquivalence, ::testing::Range(0, 18));
+
+TEST(SchedulerEquivalence, DeadlockMaxCyclesAndQuiescenceAgree) {
+  const auto prog = core::compile(core::frontend(testing::example1Source(8)));
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  val::ArrayMap in;
+  in["B"] = randomArray({0, 9}, 11);
+  in["C"] = randomArray({0, 9}, 12);
+  const machine::StreamMap streams = testing::inputsFor(prog, in);
+
+  // Impossible expectation -> both report the same deadlock.
+  RunOptions starve;
+  starve.expectedOutputs[prog.outputName] = 10'000;
+  runAllSchedulers(lowered, MachineConfig::unit(), streams, starve,
+                   "deadlock");
+
+  // Truncated run -> both report maxCycles exceeded at the same point.
+  RunOptions truncated;
+  truncated.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  truncated.maxCycles = 7;
+  runAllSchedulers(lowered, MachineConfig::hardware(), streams, truncated,
+                   "maxCycles");
+
+  // No expectation -> both run to quiescence with identical cycle counts.
+  RunOptions open;
+  const MachineResult res = runAllSchedulers(
+      lowered, MachineConfig::unit(), streams, open, "quiescence");
+  EXPECT_TRUE(res.completed);
+}
+
+TEST(SchedulerEquivalence, ForallSustainsPredictedHalfRate) {
+  const int m = 128;
+  val::Module mod = core::frontend(testing::example1Source(m));
+  val::ArrayMap in;
+  in["B"] = randomArray({0, m + 1}, 21);
+  in["C"] = randomArray({0, m + 1}, 22);
+  const auto ref = val::evaluate(mod, in);
+  const auto prog = core::compile(mod);
+  EXPECT_DOUBLE_EQ(prog.predictedRate(), 0.5);
+  testing::checkMachine(prog, in, ref.result.elems, 1e-7, 1, 0.45, 0.5);
+}
+
+TEST(SchedulerEquivalence, ForIterSchemesSustainPredictedRates) {
+  const int m = 255;
+  val::Module mod = core::frontend(testing::example2Source(m));
+  val::ArrayMap in;
+  in["A"] = randomArray({1, m}, 31, -0.8, 0.8);
+  in["B"] = randomArray({1, m}, 32);
+  const auto ref = val::evaluate(mod, in);
+
+  // Todd's scheme: a 3-stage feedback cycle with one token -> rate 1/3.
+  {
+    CompileOptions opts;
+    opts.forIterScheme = ForIterScheme::Todd;
+    const auto prog = core::compile(mod, opts);
+    EXPECT_NEAR(prog.predictedRate(), 1.0 / 3.0, 1e-9);
+    const auto res =
+        testing::checkMachine(prog, in, ref.result.elems, 1e-6, 1,
+                              prog.predictedRate() - 0.04, prog.predictedRate());
+    EXPECT_TRUE(res.completed);
+  }
+  // Companion scheme, skip k: S = 2k stages carry k tokens -> rate k/S = 1/2.
+  for (int k : {2, 8}) {
+    CompileOptions opts;
+    opts.forIterScheme = ForIterScheme::Companion;
+    opts.companionSkip = k;
+    const auto prog = core::compile(mod, opts);
+    ASSERT_EQ(prog.blocks[0].cycleStages, 2 * k);
+    ASSERT_EQ(prog.blocks[0].cycleTokens, k);
+    const double predicted =
+        static_cast<double>(prog.blocks[0].cycleTokens) /
+        static_cast<double>(prog.blocks[0].cycleStages);
+    EXPECT_DOUBLE_EQ(prog.predictedRate(), predicted);
+    const auto res = testing::checkMachine(prog, in, ref.result.elems, 1e-6, 1,
+                                           predicted - 0.05, predicted);
+    EXPECT_TRUE(res.completed);
+  }
+}
+
+}  // namespace
+}  // namespace valpipe

@@ -1,0 +1,181 @@
+// Structural tests of the ExecutableGraph flattening: the CSR cell/operand/
+// destination arrays must be a faithful, slot-consistent image of the
+// dfg::Graph + dfg::Wiring they were lowered from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/compiler.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/lower.hpp"
+#include "exec/executable_graph.hpp"
+#include "testing.hpp"
+
+namespace valpipe {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::PortSrc;
+using exec::ExecutableGraph;
+
+/// (consumer, port) pairs of a destination span, as a multiset.
+std::multiset<std::pair<std::uint32_t, int>> destSet(exec::DestSpan span) {
+  std::multiset<std::pair<std::uint32_t, int>> s;
+  for (const exec::Dest& d : span) s.insert({d.consumer, d.port});
+  return s;
+}
+
+std::multiset<std::pair<std::uint32_t, int>> destSet(
+    const std::vector<dfg::DestRef>& dests) {
+  std::multiset<std::pair<std::uint32_t, int>> s;
+  for (const dfg::DestRef& d : dests) s.insert({d.consumer.index, d.port});
+  return s;
+}
+
+/// Exhaustively checks that `eg` mirrors `g`: cells, operand slots, initial
+/// tokens, and — for every gate outcome — the delivered destination sets.
+void expectMirrors(const Graph& g, const ExecutableGraph& eg) {
+  ASSERT_EQ(eg.size(), g.size());
+  const dfg::Wiring wiring(g);
+
+  for (NodeId id : g.ids()) {
+    const dfg::Node& n = g.node(id);
+    const exec::Cell& c = eg.cell(id.index);
+    EXPECT_EQ(c.op, n.op);
+    EXPECT_EQ(c.fu, dfg::fuClass(n.op));
+    ASSERT_EQ(static_cast<std::size_t>(c.numPorts), n.inputs.size());
+    EXPECT_EQ(c.hasGate, n.gate.has_value());
+
+    for (int p = 0; p < static_cast<int>(n.inputs.size()); ++p) {
+      const exec::Operand& o = eg.operand(c, p);
+      EXPECT_EQ(o.isLiteral(), n.inputs[p].isLiteral());
+      if (n.inputs[p].isLiteral())
+        EXPECT_EQ(o.literal, n.inputs[p].literal);
+      else
+        EXPECT_EQ(o.producer, n.inputs[p].producer.index);
+      EXPECT_EQ(o.hasInitial, n.inputs[p].initial.has_value());
+      if (n.inputs[p].initial) {
+        EXPECT_EQ(o.initial, *n.inputs[p].initial);
+      }
+      EXPECT_LT(eg.slotOf(c, p), eg.slotCount());
+    }
+    if (n.gate) {
+      const exec::Operand& o = eg.operand(c, dfg::kGatePort);
+      EXPECT_EQ(o.isLiteral(), n.gate->isLiteral());
+      if (!n.gate->isLiteral()) {
+        EXPECT_EQ(o.producer, n.gate->producer.index);
+      }
+      EXPECT_LT(eg.slotOf(c, dfg::kGatePort), eg.slotCount());
+    }
+
+    // Destination slices must reproduce deliveredDests for every outcome.
+    EXPECT_EQ(destSet(eg.alwaysDests(c)),
+              destSet(wiring.deliveredDests(id, std::nullopt)));
+    for (bool gateVal : {true, false}) {
+      auto got = destSet(eg.alwaysDests(c));
+      for (const exec::Dest& d : eg.taggedDests(c, gateVal))
+        got.insert({d.consumer, d.port});
+      EXPECT_EQ(got, destSet(wiring.deliveredDests(id, gateVal)));
+    }
+    // And every Dest's cached flat slot must agree with slotOf.
+    for (const exec::Dest& d : eg.allDests(c)) {
+      EXPECT_EQ(d.slot, eg.slotOf(eg.cell(d.consumer), d.port));
+    }
+
+    if (!n.streamName.empty()) {
+      EXPECT_EQ(eg.streamName(c), n.streamName);
+    }
+    if (n.op == Op::BoolSeq) {
+      ASSERT_EQ(c.patternEnd - c.patternBegin, n.pattern.bits.size());
+      for (std::size_t j = 0; j < n.pattern.bits.size(); ++j)
+        EXPECT_EQ(eg.patternBit(c, static_cast<std::int64_t>(j)),
+                  static_cast<bool>(n.pattern.bits[j]));
+    }
+    if (n.op == Op::IndexSeq) {
+      EXPECT_EQ(c.seqLo, n.seqLo);
+      EXPECT_EQ(c.seqHi, n.seqHi);
+      EXPECT_EQ(c.seqRepeat, n.seqRepeat);
+    }
+    if (dfg::isSource(n.op) || n.op == Op::Output) {
+      EXPECT_EQ(c.tokensPerWave, n.tokensPerWave);
+    }
+  }
+
+  // Slot numbering: each cell's slots are unique and disjoint across cells.
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < eg.size(); ++i) {
+    const exec::Cell& c = eg.cell(i);
+    for (int p = 0; p < static_cast<int>(c.numPorts); ++p)
+      EXPECT_TRUE(seen.insert(eg.slotOf(c, p)).second);
+    if (c.hasGate) {
+      EXPECT_TRUE(seen.insert(eg.slotOf(c, dfg::kGatePort)).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), eg.slotCount());
+}
+
+TEST(ExecGraph, HandBuiltGraphMirrors) {
+  Graph g;
+  const NodeId in = g.input("a", 6);
+  const NodeId add = g.binary(Op::Add, Graph::out(in), Graph::lit(Value(1.0)));
+  dfg::BoolPattern p;
+  p.bits = {1, 0, 1, 1, 0, 1};
+  const NodeId ctl = g.boolSeq(p);
+  const NodeId gate = g.gatedIdentity(Graph::out(add), Graph::out(ctl));
+  const NodeId t = g.unary(Op::Neg, Graph::outT(gate));
+  const NodeId f = g.identity(Graph::outF(gate));
+  const NodeId m =
+      g.merge(Graph::out(ctl), Graph::out(t), Graph::out(f));
+  g.output("out", Graph::out(m));
+
+  const ExecutableGraph eg(g);
+  expectMirrors(g, eg);
+
+  // The gated identity has both T and F destinations, in distinct segments.
+  const exec::Cell& gc = eg.cell(gate.index);
+  EXPECT_FALSE(eg.taggedDests(gc, true).empty());
+  EXPECT_FALSE(eg.taggedDests(gc, false).empty());
+  EXPECT_TRUE(eg.alwaysDests(gc).empty());
+}
+
+TEST(ExecGraph, InitialTokensAndStoreFetchPlumbing) {
+  Graph g;
+  const NodeId in = g.input("x", 4);
+  const NodeId st = g.amStore("T", Graph::out(in));
+  const NodeId ft = g.amFetch("T", 4);
+  const NodeId acc = g.binary(Op::Add, Graph::out(ft), Graph::lit(Value(0.0)));
+  g.node(acc).inputs[1].initial = Value(7.0);  // load-time token
+  g.output("out", Graph::out(acc));
+
+  const ExecutableGraph eg(g);
+  expectMirrors(g, eg);
+
+  // A store must know which fetchers to re-awaken.
+  const auto& fetchers = eg.fetchersOf(eg.cell(st.index));
+  ASSERT_EQ(fetchers.size(), 1u);
+  EXPECT_EQ(fetchers[0], ft.index);
+  EXPECT_TRUE(eg.fetchersOf(eg.cell(in.index)).empty());
+
+  const exec::Operand& o = eg.operand(eg.cell(acc.index), 1);
+  EXPECT_TRUE(o.hasInitial);
+  EXPECT_EQ(o.initial, Value(7.0));
+}
+
+TEST(ExecGraph, CompiledProgramsMirror) {
+  for (const std::string& src :
+       {testing::example1Source(6), testing::example2Source(6),
+        testing::figure3Source(6)}) {
+    SCOPED_TRACE(src);
+    const auto prog = core::compile(core::frontend(src));
+    expectMirrors(prog.graph, ExecutableGraph(prog.graph));
+    const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+    expectMirrors(lowered, ExecutableGraph(lowered));
+  }
+}
+
+}  // namespace
+}  // namespace valpipe
