@@ -1,0 +1,141 @@
+// PE — parallel engine scaling: throughput of the sharded event-driven
+// scheduler (SchedulerKind::ParallelEventDriven) over a 1 / 2 / 4 / 8
+// thread sweep against the single-threaded EventDriven baseline, on the F6
+// forall workload.
+//
+// The sharded scheduler advances all shards in lockstep over active
+// instruction times, so its speedup ceiling is the per-step parallelism of
+// the workload divided by the barrier cost — and, of course, the machine's
+// core count: a thread sweep on a 1-core container measures barrier
+// overhead, not scaling, so the JSON report records hardware_concurrency
+// alongside every speedup for honest reading.  Results must stay
+// bit-identical to the serial engine at every thread count.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+namespace {
+
+using namespace valpipe;
+using machine::SchedulerKind;
+
+std::string forallSource(std::int64_t m) {
+  return "const m = " + std::to_string(m) + "\n" + R"(
+function ex1(B, C: array[real] [0, m+1] returns array[real])
+  forall i in [0, m+1]
+    P : real := if (i = 0) | (i = m+1) then C[i]
+                else 0.25 * (C[i-1] + 2.*C[i] + C[i+1]) endif;
+  construct B[i] * (P * P)
+  endall
+endfun
+)";
+}
+
+struct Workload {
+  std::int64_t m = 0;
+  dfg::Graph lowered;
+  machine::StreamMap inputs;
+  machine::RunOptions opts;
+};
+
+Workload f6Workload(std::int64_t m) {
+  const auto prog = core::compileSource(forallSource(m));
+  Workload w;
+  w.m = m;
+  w.lowered = dfg::isLowered(prog.graph) ? prog.graph
+                                         : dfg::expandFifos(prog.graph);
+  w.inputs = bench::randomInputs(prog, 5);
+  w.opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  return w;
+}
+
+struct Timed {
+  machine::MachineResult res;
+  double seconds = 0.0;
+};
+
+Timed runTimed(const Workload& w, SchedulerKind kind, int threads,
+               int reps = 3) {
+  machine::RunOptions opts = w.opts;
+  opts.scheduler = kind;
+  opts.threads = threads;
+  Timed best;
+  best.seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    machine::MachineResult res = machine::simulate(
+        w.lowered, machine::MachineConfig::unit(), w.inputs, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s < best.seconds) best = {std::move(res), s};
+  }
+  return best;
+}
+
+bool identical(const machine::MachineResult& a,
+               const machine::MachineResult& b) {
+  return a.outputs == b.outputs && a.outputTimes == b.outputTimes &&
+         a.cycles == b.cycles && a.totalFirings == b.totalFirings &&
+         a.firings == b.firings && a.completed == b.completed;
+}
+
+void BM_Parallel(benchmark::State& state) {
+  const Workload w = f6Workload(1024);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto t = runTimed(w, SchedulerKind::ParallelEventDriven, threads, 1);
+    benchmark::DoNotOptimize(t.res.cycles);
+  }
+}
+BENCHMARK(BM_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valpipe;
+  const unsigned cores = std::thread::hardware_concurrency();
+  bench::banner(
+      "PE (parallel engine scaling)",
+      "sharded lockstep scheduler vs single-threaded event-driven",
+      ">= 2x wall-clock on the m=4096 F6 forall with 8 threads, given >= 8 "
+      "cores; bit-identical results at every thread count");
+  std::printf("hardware_concurrency: %u%s\n\n", cores,
+              cores < 8 ? "  (below 8: speedups here measure barrier "
+                          "overhead, not scaling)"
+                        : "");
+
+  TextTable table({"m", "cells", "cycles", "serial s", "threads", "par s",
+                   "speedup", "same"});
+  std::ofstream json("BENCH_parallel_engine.json");
+  json << "{\n  \"bench\": \"parallel_engine\",\n  \"workload\": \"F6 forall\""
+       << ",\n  \"hardware_concurrency\": " << cores << ",\n  \"sweep\": [\n";
+  bool firstRow = true;
+  for (std::int64_t m : {std::int64_t(1024), std::int64_t(4096)}) {
+    const Workload w = f6Workload(m);
+    const Timed serial = runTimed(w, SchedulerKind::EventDriven, 0);
+    for (int threads : {1, 2, 4, 8}) {
+      const Timed par =
+          runTimed(w, SchedulerKind::ParallelEventDriven, threads);
+      const bool same = identical(serial.res, par.res);
+      const double speedup = serial.seconds / par.seconds;
+      table.addRow({std::to_string(m), std::to_string(w.lowered.size()),
+                    std::to_string(par.res.cycles), fmtDouble(serial.seconds, 4),
+                    std::to_string(threads), fmtDouble(par.seconds, 4),
+                    fmtDouble(speedup, 2), same ? "yes" : "NO"});
+      if (!firstRow) json << ",\n";
+      firstRow = false;
+      json << "    {\"m\": " << m << ", \"threads\": " << threads
+           << ", \"serial_seconds\": " << serial.seconds
+           << ", \"parallel_seconds\": " << par.seconds
+           << ", \"speedup\": " << speedup << ", \"identical\": "
+           << (same ? "true" : "false") << "}";
+    }
+  }
+  json << "\n  ]\n}\n";
+  json.close();
+  std::printf("%s\n", table.str().c_str());
+  std::printf("\nwrote BENCH_parallel_engine.json\n");
+  return bench::runTimings(argc, argv);
+}

@@ -197,7 +197,9 @@ PortSrc compileForIterLongFifo(Graph& g, const val::Module& m,
                                const std::map<std::string, ArraySource>& arrays,
                                const Block& b, int batch, BlockReport& report) {
   if (batch < 2)
-    throw CompileError("long-FIFO scheme needs an interleave factor >= 2");
+    throw CompileError("long-FIFO scheme needs CompileOptions::interleave "
+                       ">= 2 (got " +
+                       std::to_string(batch) + ")");
   PortSrc out =
       buildDirectLoop(g, m, opts, arrays, b, batch, 2 * batch, report);
   std::ostringstream scheme;
@@ -213,9 +215,13 @@ PortSrc compileForIterCompanion(Graph& g, const val::Module& m,
   const ForIterBlock& fi = b.forIter();
   const LoopShape s = shapeOf(b);
   if (k < 2 || (k & (k - 1)) != 0)
-    throw CompileError("companion skip must be a power of two >= 2");
+    throw CompileError("CompileOptions::companionSkip must be a power of two "
+                       ">= 2 (got " +
+                       std::to_string(k) + ")");
   if (k > s.n)
-    throw CompileError("companion skip exceeds the loop trip count");
+    throw CompileError("CompileOptions::companionSkip (" + std::to_string(k) +
+                       ") exceeds the loop trip count (" +
+                       std::to_string(s.n) + ")");
 
   auto lin = val::decomposeLinear(val::bodyExpression(fi), fi.accVar,
                                   fi.indexVar, m.consts);
@@ -223,7 +229,8 @@ PortSrc compileForIterCompanion(Graph& g, const val::Module& m,
     throw CompileError(
         "block '" + b.name +
         "' is not a simple for-iter (recurrence is not first-order linear); "
-        "use the Todd scheme");
+        "CompileOptions::forIterScheme = Companion does not apply — use the "
+        "Todd scheme");
 
   BlockCompiler bc(g, m, opts, arrays, fi.indexVar, val::Range{s.p, s.q});
 

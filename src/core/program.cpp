@@ -46,6 +46,10 @@ CompiledProgram compile(const Module& m, const CompileOptions& opts) {
   if (auto r = val::isPipeStructured(m); !r)
     throw CompileError("not a pipe-structured program: " + r.reason);
   const bool longFifo = opts.forIterScheme == ForIterScheme::LongFifo;
+  if (longFifo && opts.interleave < 2)
+    throw CompileError("long-FIFO scheme needs CompileOptions::interleave "
+                       ">= 2 (got " +
+                       std::to_string(opts.interleave) + ")");
   const std::int64_t repl = longFifo ? opts.interleave : 1;
   if (longFifo && m.blocks.size() != 1)
     throw CompileError(

@@ -1,0 +1,65 @@
+// Cross-shard packet mailboxes of the parallel machine engine.
+//
+// The sharded scheduler gives each worker thread its own slice of the cell
+// state; the only cross-shard traffic is the paper's own packet vocabulary —
+// a result packet filling a destination operand slot, and an acknowledge
+// freeing a producer's destination.  Each ordered shard pair owns one
+// single-producer single-consumer mailbox: the producing shard appends
+// during its firing phase, the owning shard drains after the next
+// per-instruction-time barrier.  The barrier provides the happens-before
+// edge, so messages need no per-entry synchronization, and the fixed
+// (sender shard, push order) drain order keeps the parallel engine
+// bit-identical to the single-threaded one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/value.hpp"
+
+namespace valpipe::exec {
+
+/// One cross-shard packet.
+struct Message {
+  enum class Kind : std::uint8_t {
+    Result,       ///< fill destination `slot` of `cell` with `v` at `time`
+    Acknowledge,  ///< destination `slot` of producer `cell` freed at `time`
+  };
+  Kind kind = Kind::Result;
+  std::uint32_t cell = 0;   ///< cell to wake in the receiving shard
+  std::uint32_t slot = 0;   ///< flat operand-slot index the packet refers to
+  std::int64_t time = 0;    ///< readyAt (Result) / freedAt (Acknowledge)
+  std::int64_t wakeAt = 0;  ///< instruction time `cell` must be re-examined
+  Value v{};                ///< payload (Result only)
+};
+
+/// SPSC batch queue for one ordered shard pair.  push() is only called by
+/// the sending shard between two barriers; drain()/clear() only by the
+/// receiving shard in the following inter-barrier window.
+class Mailbox {
+ public:
+  void push(const Message& m) { msgs_.push_back(m); }
+  const std::vector<Message>& pending() const { return msgs_; }
+  void clear() { msgs_.clear(); }  // keeps capacity across laps
+
+ private:
+  std::vector<Message> msgs_;
+};
+
+/// Dense SxS mailbox matrix; box(from, to) is the pair's queue.
+class MailboxGrid {
+ public:
+  explicit MailboxGrid(std::size_t shards)
+      : shards_(shards), boxes_(shards * shards) {}
+
+  Mailbox& box(std::uint32_t from, std::uint32_t to) {
+    return boxes_[from * shards_ + to];
+  }
+  std::size_t shards() const { return shards_; }
+
+ private:
+  std::size_t shards_;
+  std::vector<Mailbox> boxes_;
+};
+
+}  // namespace valpipe::exec

@@ -1,0 +1,50 @@
+#include "exec/shard_plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace valpipe::exec {
+
+namespace {
+
+/// Cells whose firings touch a shared stream vector and therefore must be
+/// co-located: Output (appends to the output stream), AmStore (extends a
+/// region), AmFetch (reads the region as it grows).
+bool needsStreamColocation(dfg::Op op) {
+  return op == dfg::Op::Output || op == dfg::Op::AmStore ||
+         op == dfg::Op::AmFetch;
+}
+
+}  // namespace
+
+ShardPlan buildShardPlan(const ExecutableGraph& eg, std::uint32_t shards,
+                         const std::vector<std::uint32_t>& hint) {
+  VALPIPE_CHECK(shards >= 1);
+  VALPIPE_CHECK_MSG(hint.size() == eg.size(),
+                    "shard hint does not match the graph");
+  ShardPlan plan;
+  plan.shardCount = shards;
+  plan.shardOf.resize(eg.size());
+  for (std::uint32_t c = 0; c < eg.size(); ++c)
+    plan.shardOf[c] = hint[c] % shards;
+
+  // Stream co-location: every constrained cell of a stream follows the
+  // stream's lowest-numbered constrained cell.  A cell belongs to at most
+  // one stream, so one pass per stream suffices (no union-find needed).
+  std::map<std::int32_t, std::uint32_t> streamHome;  // stream -> home shard
+  for (std::uint32_t c = 0; c < eg.size(); ++c) {
+    const Cell& cl = eg.cell(c);
+    if (!needsStreamColocation(cl.op) || cl.stream < 0) continue;
+    auto [it, inserted] = streamHome.emplace(cl.stream, plan.shardOf[c]);
+    if (!inserted) plan.shardOf[c] = it->second;
+  }
+
+  plan.cells.resize(shards);
+  for (std::uint32_t c = 0; c < eg.size(); ++c)
+    plan.cells[plan.shardOf[c]].push_back(c);
+  return plan;
+}
+
+}  // namespace valpipe::exec

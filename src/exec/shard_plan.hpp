@@ -1,0 +1,38 @@
+// Partition of an ExecutableGraph's cells into scheduler shards.
+//
+// The parallel engine assigns every instruction cell to exactly one worker
+// thread (shard).  The caller supplies a per-cell shard hint (derived from a
+// Placement, or from the machine layer's min-cut partitioner); the plan then
+// enforces the engine's co-location constraints: all cells that touch the
+// same named stream region — Output cells of one stream, and the
+// AmStore/AmFetch cells of one array-memory region — must live in one shard,
+// because they share the stream's backing vector (stores extend the region
+// fetchers read, and output elements append in firing order).  Constrained
+// groups land in the shard of their lowest-numbered cell, which keeps the
+// plan deterministic for a given hint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/executable_graph.hpp"
+
+namespace valpipe::exec {
+
+struct ShardPlan {
+  std::uint32_t shardCount = 1;
+  std::vector<std::uint32_t> shardOf;             ///< per cell
+  std::vector<std::vector<std::uint32_t>> cells;  ///< per shard, ascending
+
+  bool sameShard(std::uint32_t a, std::uint32_t b) const {
+    return shardOf[a] == shardOf[b];
+  }
+};
+
+/// Builds a plan over `shards` shards from per-cell `hint` (values are taken
+/// modulo `shards`), applying the stream co-location constraints above.
+/// `hint` must have one entry per cell.
+ShardPlan buildShardPlan(const ExecutableGraph& eg, std::uint32_t shards,
+                         const std::vector<std::uint32_t>& hint);
+
+}  // namespace valpipe::exec

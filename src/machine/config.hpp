@@ -45,7 +45,9 @@ struct MachineConfig {
   static MachineConfig unit() { return MachineConfig{}; }
 
   /// A plausible hardware point: 4-cycle FPU, 2-cycle ALU, 6-cycle array
-  /// memory, 1-cycle routing each way; pools sized by `peCount`.
+  /// memory, 1-cycle routing each way.  Pools are sized by the per-class
+  /// unit counts given here (`fpus`/`alus`/`ams`); 0 leaves a class
+  /// unlimited, so the default is contention-free.
   static MachineConfig hardware(int fpus = 0, int alus = 0, int ams = 0) {
     MachineConfig c;
     c.execLatency = {1, 2, 4, 6};  // Pe, Alu, Fpu, Am

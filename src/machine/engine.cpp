@@ -1,7 +1,9 @@
 // Timed machine simulation over the flattened exec::ExecutableGraph.
 //
-// One engine core implements the §2/§3 firing discipline (enabling test,
-// firing effects, acknowledge bookkeeping); two run loops drive it:
+// The firing discipline (enabling test, firing effects, acknowledge
+// bookkeeping) lives in detail::EngineBase (machine/engine_impl.hpp) and is
+// shared with the parallel engine; this file supplies the single-threaded
+// event routing (one time wheel, one FU pool) and the two serial run loops:
 //
 //   runSynchronous  — rescans every cell each instruction time with rotating
 //                     priority, the original stepper's schedule on the flat
@@ -17,7 +19,7 @@
 // ordered exactly as the full rescan orders them, so every MachineResult
 // field — outputs, arrival times, per-cell firings, cycles, packet and
 // busy-time counters — is bit-identical across the schedulers and the
-// pre-refactor Reference stepper (machine/engine_reference.cpp).
+// Reference stepper (machine/engine_reference.cpp).
 #include "machine/engine.hpp"
 
 #include <algorithm>
@@ -31,6 +33,7 @@
 #include "exec/ready_queue.hpp"
 #include "exec/router.hpp"
 #include "exec/stop.hpp"
+#include "machine/engine_impl.hpp"
 #include "support/check.hpp"
 
 namespace valpipe::machine {
@@ -39,45 +42,32 @@ using dfg::Op;
 using exec::Cell;
 using exec::CellDyn;
 using exec::Dest;
-using exec::DestSpan;
 using exec::ExecutableGraph;
 using exec::Operand;
 using exec::Slot;
 
 namespace {
 
-struct Engine {
-  const ExecutableGraph& eg;
-  const MachineConfig& cfg;
-  const RunOptions& opts;
-
-  std::vector<Slot> slots;     ///< one per operand slot (gates included)
-  std::vector<CellDyn> cells;  ///< per-cell emitted / busyUntil
+struct Engine : detail::EngineBase<Engine> {
+  std::vector<Slot> slotStore;
+  std::vector<CellDyn> dynStore;
   exec::FuPool fu;
-  exec::Router router;
   exec::StopCondition stop;
   exec::ReadyQueue* rq = nullptr;  ///< set while running event-driven
 
-  /// Input / AmFetch cells: the backing stream read by sourceValue.
-  std::vector<const std::vector<Value>*> sourceData;
-  /// Output cells: StopCondition counter index (-1 when unexpected).
-  std::vector<std::int32_t> stopSlot;
-
   MachineResult result;
-  std::int64_t now = 0;
 
   Engine(const ExecutableGraph& graph, const MachineConfig& config,
          const StreamMap& inputs, const RunOptions& o)
-      : eg(graph),
-        cfg(config),
-        opts(o),
-        slots(graph.slotCount()),
-        cells(graph.size()),
+      : EngineBase(graph, config, o),
+        slotStore(graph.slotCount()),
+        dynStore(graph.size()),
         fu(config.fuUnits, config.execLatency),
-        stop(o.expectedOutputs),
-        sourceData(graph.size(), nullptr),
-        stopSlot(graph.size(), -1) {
+        stop(o.expectedOutputs) {
+    slots = slotStore.data();
+    cellDyn = dynStore.data();
     result.firings.assign(eg.size(), 0);
+    firings = result.firings.data();
     // Load-time tokens (counter-loop bootstraps): present at t = 0.
     for (std::uint32_t s = 0; s < eg.slotCount(); ++s) {
       const Operand& o2 = eg.operandAt(s);
@@ -86,29 +76,16 @@ struct Engine {
         slots[s].v = o2.initial;
       }
     }
-    result.amFinal = opts.amInitial;
+    amFinal = opts.amInitial;
     // Fetched regions must exist even when nothing is pre-loaded (stores
     // fill them during the run); resolve stream bindings once.
     for (std::uint32_t c = 0; c < eg.size(); ++c) {
       const Cell& cl = eg.cell(c);
-      if (cl.op == Op::AmFetch) result.amFinal[eg.streamName(cl)];
+      if (cl.op == Op::AmFetch) amFinal[eg.streamName(cl)];
     }
-    for (std::uint32_t c = 0; c < eg.size(); ++c) {
-      const Cell& cl = eg.cell(c);
-      if (cl.op == Op::Input) {
-        auto it = inputs.find(eg.streamName(cl));
-        VALPIPE_CHECK_MSG(it != inputs.end(), "missing input stream '" +
-                                                  eg.streamName(cl) + "'");
-        VALPIPE_CHECK_MSG(static_cast<std::int64_t>(it->second.size()) ==
-                              cl.tokensPerWave,
-                          "input '" + eg.streamName(cl) + "' has wrong length");
-        sourceData[c] = &it->second;
-      } else if (cl.op == Op::AmFetch) {
-        sourceData[c] = &result.amFinal.at(eg.streamName(cl));
-      } else if (cl.op == Op::Output) {
-        stopSlot[c] = stop.slotFor(eg.streamName(cl));
-      }
-    }
+    for (std::uint32_t c = 0; c < eg.size(); ++c)
+      bindCell(c, inputs,
+               [this](const std::string& name) { return stop.slotFor(name); });
     if (opts.placement) {
       VALPIPE_CHECK_MSG(opts.placement->peOf.size() == eg.size(),
                         "placement does not match the graph");
@@ -117,193 +94,32 @@ struct Engine {
     }
   }
 
+  // --- event-routing hooks: everything is lane-local ----------------------
+
   void wake(std::uint32_t cell, std::int64_t at) {
     if (rq) rq->wake(cell, at);
   }
-
-  std::int64_t sourceLimit(std::uint32_t c, const Cell& cl) const {
-    if (cl.op == Op::AmFetch) {
-      // Reads the region sequentially as stores fill it: the limit is
-      // whatever is available now, capped at one region read per wave.
-      return std::min<std::int64_t>(
-          cl.tokensPerWave * opts.waves,
-          static_cast<std::int64_t>(sourceData[c]->size()));
-    }
-    return cl.tokensPerWave * opts.waves;
+  bool destFree(const Dest& d) const { return slotFree(slots[d.slot]); }
+  void deliverOne(const Dest& d, const Value& v, std::int64_t at,
+                  std::int64_t wakeAt) {
+    deliverLocal(d, v, at, wakeAt);
   }
-
-  Value sourceValue(std::uint32_t c, const Cell& cl, std::int64_t k) const {
-    const std::int64_t j = k % cl.tokensPerWave;
-    switch (cl.op) {
-      case Op::Input:
-        return (*sourceData[c])[static_cast<std::size_t>(j)];
-      case Op::BoolSeq: return Value(eg.patternBit(cl, j));
-      case Op::IndexSeq:
-        return Value(cl.seqLo + (j / cl.seqRepeat) % (cl.seqHi - cl.seqLo + 1));
-      case Op::AmFetch:
-        return (*sourceData[c])[static_cast<std::size_t>(k)];
-      default: VALPIPE_UNREACHABLE("not a source");
-    }
+  void ackProducer(std::uint32_t producer, std::uint32_t /*slot*/,
+                   std::int64_t /*freedAt*/, std::int64_t wakeAt) {
+    wake(producer, wakeAt);
   }
-
-  bool slotReady(const Slot& s) const { return s.full && s.readyAt <= now; }
-  bool slotFree(const Slot& s) const { return !s.full && s.freedAt <= now; }
-
-  bool portReady(const Cell& cl, int port) const {
-    const std::uint32_t si = eg.slotOf(cl, port);
-    return eg.operandAt(si).isLiteral() || slotReady(slots[si]);
-  }
-
-  Value portValue(const Cell& cl, int port) const {
-    const std::uint32_t si = eg.slotOf(cl, port);
-    const Operand& o = eg.operandAt(si);
-    return o.isLiteral() ? o.literal : slots[si].v;
-  }
-
-  bool destsFree(DestSpan ds) const {
-    for (const Dest& d : ds)
-      if (!slotFree(slots[d.slot])) return false;
-    return true;
-  }
-
-  /// Enabled test (phase A, reads only start-of-cycle state).
-  bool enabled(std::uint32_t c) const {
-    const Cell& cl = eg.cell(c);
-    const CellDyn& dyn = cells[c];
-    if (dyn.busyUntil > now) return false;
-
-    if (dfg::isSource(cl.op)) {
-      if (dyn.emitted >= sourceLimit(c, cl)) return false;
-      return destsFree(eg.alwaysDests(cl));
-    }
-    std::optional<bool> gateVal;
-    if (cl.hasGate) {
-      if (!portReady(cl, exec::kGatePort)) return false;
-      gateVal = portValue(cl, exec::kGatePort).asBoolean();
-    }
-    if (cl.op == Op::Merge) {
-      if (!portReady(cl, 0)) return false;
-      const bool sel = portValue(cl, 0).asBoolean();
-      if (!portReady(cl, sel ? 1 : 2)) return false;
-    } else {
-      for (int p = 0; p < static_cast<int>(cl.numPorts); ++p)
-        if (!portReady(cl, p)) return false;
-    }
-    if (!dfg::producesResult(cl.op)) return true;
-    if (!destsFree(eg.alwaysDests(cl))) return false;
-    return !gateVal || destsFree(eg.taggedDests(cl, *gateVal));
-  }
-
-  bool consumedAny = false;   ///< current firing consumed a non-literal port
-  bool deliveredAny = false;  ///< current firing filled a destination slot
-
-  void consume(const Cell& cl, int port) {
-    const std::uint32_t si = eg.slotOf(cl, port);
-    const Operand& o = eg.operandAt(si);
-    if (o.isLiteral()) return;
-    Slot& s = slots[si];
-    s.full = false;
-    s.freedAt = now + cfg.ackDelay;
-    ++result.packets.ackPackets;
-    consumedAny = true;
-    // The acknowledge frees the producer's destination: it may re-enable
-    // from the instruction time the ack becomes visible.
-    wake(o.producer, std::max<std::int64_t>(s.freedAt, now + 1));
-  }
-
-  void deliver(DestSpan ds, const Value& v, std::uint32_t from,
-               std::int64_t arrive) {
-    if (!ds.empty()) deliveredAny = true;
-    for (const Dest& d : ds) {
-      Slot& s = slots[d.slot];
-      VALPIPE_CHECK_MSG(!s.full, "result packet delivered into occupied slot");
-      s.full = true;
-      s.v = v;
-      // Packets between cells in different PEs traverse the distribution
-      // network (Fig. 1) and pay the extra hop.
-      const std::int64_t at =
-          arrive + router.extraDelay(from, d.consumer, result.packets);
-      s.readyAt = at;
-      ++result.packets.resultPackets;
-      wake(d.consumer, std::max<std::int64_t>(at, now + 1));
-    }
-  }
-
-  /// Phase B: applies the firing of `c` at time `now`.
-  void fire(std::uint32_t c) {
-    const Cell& cl = eg.cell(c);
-    CellDyn& dyn = cells[c];
-    ++result.firings[c];
-    ++result.totalFirings;
-    ++result.packets.opPacketsByClass[static_cast<std::size_t>(cl.fu)];
-    dyn.busyUntil = now + 1;
-    consumedAny = deliveredAny = false;
-
-    std::optional<Value> out;
-    std::optional<bool> gateVal;
-
-    if (dfg::isSource(cl.op)) {
-      out = sourceValue(c, cl, dyn.emitted);
-      ++dyn.emitted;
-    } else {
-      if (cl.hasGate) {
-        gateVal = portValue(cl, exec::kGatePort).asBoolean();
-        consume(cl, exec::kGatePort);
-      }
-      auto in = [&](int p) { return portValue(cl, p); };
-      switch (cl.op) {
-        case Op::Merge: {
-          const bool sel = in(0).asBoolean();
-          out = in(sel ? 1 : 2);
-          consume(cl, 0);
-          consume(cl, sel ? 1 : 2);
-          break;
-        }
-        case Op::Output: {
-          result.outputs[eg.streamName(cl)].push_back(in(0));
-          result.outputTimes[eg.streamName(cl)].push_back(now);
-          stop.onOutput(stopSlot[c]);
-          break;
-        }
-        case Op::Sink: break;
-        case Op::AmStore: {
-          result.amFinal[eg.streamName(cl)].push_back(in(0));
-          // The store extends the region: matching fetchers may re-enable.
-          for (std::uint32_t f : eg.fetchersOf(cl)) wake(f, now + 1);
-          break;
-        }
-        default: out = exec::applyPure(cl.op, in); break;
-      }
-      if (cl.op != Op::Merge)
-        for (int p = 0; p < static_cast<int>(cl.numPorts); ++p) consume(cl, p);
-    }
-
-    if (out.has_value()) {
-      router.noteFiring(c);
-      const std::int64_t arrive = now +
-                                  cfg.execLatency[static_cast<std::size_t>(cl.fu)] +
-                                  cfg.routeDelay;
-      deliver(eg.alwaysDests(cl), *out, c, arrive);
-      if (gateVal) deliver(eg.taggedDests(cl, *gateVal), *out, c, arrive);
-    }
-    // A firing that consumed a port or filled a destination will be re-woken
-    // by the matching refill / acknowledge; only a firing with neither (a
-    // source with no destinations, an all-literal consumer, ...) can be
-    // enabled again at now + 1 with no further event.
-    if (!consumedAny && !deliveredAny) wake(c, now + 1);
-  }
-
-  std::int64_t settleWindow() const {
-    return exec::quiesceWindow(
-        cfg.routeDelay, cfg.ackDelay,
-        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()));
-  }
+  void onOutput(std::int32_t stopSlot) { stop.onOutput(stopSlot); }
 
   void finish() {
     if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
     result.cycles = now;
     result.fuBusy = fu.busy();
     if (router.active()) result.pePackets = router.pePackets();
+    result.outputs = std::move(outputs);
+    result.outputTimes = std::move(outputTimes);
+    result.amFinal = std::move(amFinal);
+    result.totalFirings = totalFirings;
+    result.packets = packets;
   }
 
   /// Original schedule: rescan all cells each instruction time with rotating
@@ -348,15 +164,7 @@ struct Engine {
   void runEventDriven() {
     const std::size_t n = eg.size();
     const std::int64_t settle = settleWindow();
-    // Longest forward distance of any wake: a delivered packet's transit
-    // (execution + routing + the inter-PE hop), an acknowledge, or a
-    // function-unit release — the wheel must span it without aliasing.
-    const std::int64_t horizon =
-        std::max<std::int64_t>(std::max<std::int64_t>(1, cfg.ackDelay),
-                               *std::max_element(cfg.execLatency.begin(),
-                                                 cfg.execLatency.end()) +
-                                   cfg.routeDelay + cfg.interPeDelay);
-    exec::ReadyQueue queue(n, horizon);
+    exec::ReadyQueue queue(n, wakeHorizon());
     rq = &queue;
     for (std::uint32_t c = 0; c < n; ++c) queue.wake(c, 0);
 
@@ -462,10 +270,12 @@ double MachineResult::steadyRate(const std::string& stream) const {
 MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
                        const StreamMap& inputs, const RunOptions& opts) {
   if (opts.scheduler == SchedulerKind::Reference)
-    return simulateReference(lowered, cfg, inputs, opts);
+    return detail::simulateReference(lowered, cfg, inputs, opts);
   VALPIPE_CHECK_MSG(dfg::isLowered(lowered),
                     "machine engine requires lowered graph");
   const ExecutableGraph eg(lowered);
+  if (opts.scheduler == SchedulerKind::ParallelEventDriven)
+    return detail::simulateParallel(lowered, eg, cfg, inputs, opts);
   Engine engine(eg, cfg, inputs, opts);
   if (opts.scheduler == SchedulerKind::Synchronous)
     engine.runSynchronous();

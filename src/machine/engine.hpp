@@ -9,15 +9,22 @@
 // of one firing per two instruction times under the unit profile, and k/S for
 // a feedback cycle of S stages carrying a dependence distance of k.
 //
-// The simulator runs on a flattened exec::ExecutableGraph and offers three
+// The simulator runs on a flattened exec::ExecutableGraph and offers four
 // schedulers with bit-identical results:
 //   - EventDriven (default): a cell is re-examined only when a token arrives,
 //     an acknowledge frees a destination, a function unit frees, or its own
 //     firing completes — work scales with firings, not cells x cycles;
+//   - ParallelEventDriven: the event-driven schedule sharded across worker
+//     threads — cells are partitioned into shards (following the Placement
+//     when one is supplied, else a min-cut partitioner), each worker owns a
+//     time wheel / FU-pool slice / cell state, and cross-shard result and
+//     acknowledge packets travel through per-pair SPSC mailboxes drained at
+//     a deterministic per-instruction-time barrier;
 //   - Synchronous: rescans every cell each instruction time on the flat
 //     representation (diagnostic middle ground);
 //   - Reference: the original pointer-walking stepper over dfg::Graph, kept
-//     verbatim as the verification oracle and bench baseline.
+//     verbatim as the verification oracle and bench baseline (selected via
+//     RunOptions::scheduler — the one way to pick a scheduler).
 //
 // The graph must be lowered (dfg::expandFifos) so cell counts and rates refer
 // to real instruction cells.
@@ -34,11 +41,13 @@
 #include "exec/packet_counters.hpp"
 #include "machine/config.hpp"
 #include "machine/placement.hpp"
+#include "run/io.hpp"
 #include "support/value.hpp"
 
 namespace valpipe::machine {
 
-using StreamMap = std::map<std::string, std::vector<Value>>;
+/// Deprecated alias of run::StreamMap, kept for one release.
+using StreamMap = run::StreamMap;
 
 /// Packet traffic counters (§2's packet communication architecture).
 using PacketCounters = exec::PacketCounters;
@@ -47,14 +56,14 @@ using PacketCounters = exec::PacketCounters;
 /// they differ only in how much work they spend finding enabled cells.
 enum class SchedulerKind {
   EventDriven,  ///< ready-queue scheduler over the flattened graph (default)
+  ParallelEventDriven,  ///< the event-driven schedule sharded across threads
   Synchronous,  ///< full rescan each instruction time, flattened graph
   Reference,    ///< the original dfg::Graph stepper (verification oracle)
 };
 
-struct RunOptions {
-  int waves = 1;
-  std::int64_t maxCycles = 100'000'000;
-  StreamMap amInitial;
+/// Machine-run options: the shared run vocabulary (waves, amInitial,
+/// maxCycles) plus the timed-engine knobs.
+struct RunOptions : run::RunOptions {
   /// Expected element count per Output stream for the whole run; when given,
   /// the run stops as soon as all outputs are complete.
   std::map<std::string, std::int64_t> expectedOutputs;
@@ -62,6 +71,9 @@ struct RunOptions {
   /// cfg.interPeDelay and are counted as distribution-network traffic.
   std::optional<Placement> placement;
   SchedulerKind scheduler = SchedulerKind::EventDriven;
+  /// Worker-thread (= shard) count for ParallelEventDriven; 0 picks a
+  /// default from the hardware.  Results are identical for every count.
+  int threads = 0;
 };
 
 struct MachineResult {
@@ -88,15 +100,10 @@ struct MachineResult {
 };
 
 /// Simulates `lowered` under `cfg` with the scheduler chosen in `opts`.
+/// This is the one entry point; the verification oracle is reached with
+/// SchedulerKind::Reference (the old simulateReference free function is
+/// gone).
 MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
                        const StreamMap& inputs, const RunOptions& opts = {});
-
-/// The pre-ExecutableGraph synchronous stepper, kept verbatim: the oracle the
-/// event-driven scheduler is verified against (equivalent to passing
-/// SchedulerKind::Reference in `opts`).
-MachineResult simulateReference(const dfg::Graph& lowered,
-                                const MachineConfig& cfg,
-                                const StreamMap& inputs,
-                                const RunOptions& opts = {});
 
 }  // namespace valpipe::machine

@@ -1,0 +1,352 @@
+// Shared firing core of the timed machine engines (internal header).
+//
+// The single-threaded scheduler loops (machine/engine.cpp) and the sharded
+// parallel scheduler (machine/engine_parallel.cpp) implement the same §2/§3
+// firing discipline — enabling test, firing effects, acknowledge
+// bookkeeping.  EngineBase extracts that discipline once, verbatim, over
+// caller-owned flat state arrays; the derived engine supplies only the
+// event-routing hooks that differ between the two:
+//
+//   wake(cell, at)                       re-examine `cell` at time `at`
+//   destFree(dest)                       is this destination slot free?
+//   deliverOne(dest, v, at, wakeAt)      result packet into a destination
+//   ackProducer(producer, slot, freedAt, wakeAt)
+//                                        acknowledge back to a producer
+//   onOutput(stopSlot)                   one expected-output element landed
+//
+// The single-threaded engine routes every hook to its own slots and wheel;
+// a parallel shard routes hooks whose target cell lives in another shard
+// through the cross-shard mailboxes (and answers destFree from its
+// producer-side mirror).  Keeping the core byte-for-byte shared is what
+// makes "bit-identical across schedulers" a structural property instead of
+// a test-enforced one.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/cell_state.hpp"
+#include "exec/executable_graph.hpp"
+#include "exec/ops.hpp"
+#include "exec/packet_counters.hpp"
+#include "exec/router.hpp"
+#include "exec/stop.hpp"
+#include "machine/engine.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::machine::detail {
+
+/// CRTP base holding the engine state one scheduler "lane" owns (a whole run
+/// for the single-threaded engine, one shard for the parallel one) and the
+/// shared enabling/firing logic over it.  `slots` / `cellDyn` / `firings`
+/// are caller-owned flat arrays (shared and partitioned by cell in the
+/// parallel engine); the stream-shaped results (outputs, arrival times,
+/// array-memory regions) and packet counters are owned here per lane and
+/// merged by the caller.
+template <class Derived>
+struct EngineBase {
+  const exec::ExecutableGraph& eg;
+  const MachineConfig& cfg;
+  const RunOptions& opts;
+
+  // Caller-owned flat state, bound by the derived ctor (the derived class
+  // owns or borrows the storage; a base ctor argument would dereference
+  // not-yet-constructed derived members).
+  exec::Slot* slots = nullptr;       ///< per operand slot (gates included)
+  exec::CellDyn* cellDyn = nullptr;  ///< per cell emitted / busyUntil
+  std::uint64_t* firings = nullptr;  ///< per cell firing counts
+
+  exec::Router router;
+  exec::PacketCounters packets;
+  std::uint64_t totalFirings = 0;
+  StreamMap outputs;
+  std::map<std::string, std::vector<std::int64_t>> outputTimes;
+  StreamMap amFinal;
+
+  /// Input / AmFetch cells: the backing stream read by sourceValue.
+  std::vector<const std::vector<Value>*> sourceData;
+  /// Output cells: expected-output counter index (-1 when unexpected).
+  std::vector<std::int32_t> stopSlotOf;
+
+  std::int64_t now = 0;
+  bool consumedAny = false;   ///< current firing consumed a non-literal port
+  bool deliveredAny = false;  ///< current firing filled a destination slot
+
+  EngineBase(const exec::ExecutableGraph& graph, const MachineConfig& config,
+             const RunOptions& o)
+      : eg(graph),
+        cfg(config),
+        opts(o),
+        sourceData(graph.size(), nullptr),
+        stopSlotOf(graph.size(), -1) {}
+
+  Derived& self() { return static_cast<Derived&>(*this); }
+  const Derived& self() const { return static_cast<const Derived&>(*this); }
+
+  // --- one-time binding helpers -------------------------------------------
+
+  /// Seeds this lane's array-memory map for cell `c`: fetched regions must
+  /// exist before sourceData binds to them (stores fill them during the
+  /// run), and a stored region preloaded via amInitial must start from the
+  /// preload so store firings append after it.  Regions neither fetched nor
+  /// preloaded stay absent until a store lazily creates them — entry
+  /// existence in amFinal is part of the bit-identical contract.
+  void seedAm(std::uint32_t c) {
+    const exec::Cell& cl = eg.cell(c);
+    if (cl.op != dfg::Op::AmFetch && cl.op != dfg::Op::AmStore) return;
+    const std::string& name = eg.streamName(cl);
+    if (cl.op == dfg::Op::AmFetch) {
+      auto it = opts.amInitial.find(name);
+      amFinal.emplace(name,
+                      it != opts.amInitial.end() ? it->second
+                                                 : std::vector<Value>{});
+    } else if (auto it = opts.amInitial.find(name);
+               it != opts.amInitial.end()) {
+      amFinal.emplace(name, it->second);
+    }
+  }
+
+  /// Resolves cell `c`'s stream binding (after every seedAm of this lane):
+  /// input data, fetched region, or expected-output counter index given by
+  /// `slotFor` (StopCondition::slotFor order).
+  template <class SlotFor>
+  void bindCell(std::uint32_t c, const StreamMap& inputs,
+                const SlotFor& slotFor) {
+    const exec::Cell& cl = eg.cell(c);
+    if (cl.op == dfg::Op::Input) {
+      auto it = inputs.find(eg.streamName(cl));
+      VALPIPE_CHECK_MSG(it != inputs.end(),
+                        "missing input stream '" + eg.streamName(cl) + "'");
+      VALPIPE_CHECK_MSG(static_cast<std::int64_t>(it->second.size()) ==
+                            cl.tokensPerWave,
+                        "input '" + eg.streamName(cl) + "' has wrong length");
+      sourceData[c] = &it->second;
+    } else if (cl.op == dfg::Op::AmFetch) {
+      sourceData[c] = &amFinal.at(eg.streamName(cl));
+    } else if (cl.op == dfg::Op::Output) {
+      stopSlotOf[c] = slotFor(eg.streamName(cl));
+    }
+  }
+
+  // --- shared firing discipline -------------------------------------------
+
+  std::int64_t sourceLimit(std::uint32_t c, const exec::Cell& cl) const {
+    if (cl.op == dfg::Op::AmFetch) {
+      // Reads the region sequentially as stores fill it: the limit is
+      // whatever is available now, capped at one region read per wave.
+      return std::min<std::int64_t>(
+          cl.tokensPerWave * opts.waves,
+          static_cast<std::int64_t>(sourceData[c]->size()));
+    }
+    return cl.tokensPerWave * opts.waves;
+  }
+
+  Value sourceValue(std::uint32_t c, const exec::Cell& cl,
+                    std::int64_t k) const {
+    const std::int64_t j = k % cl.tokensPerWave;
+    switch (cl.op) {
+      case dfg::Op::Input:
+        return (*sourceData[c])[static_cast<std::size_t>(j)];
+      case dfg::Op::BoolSeq: return Value(eg.patternBit(cl, j));
+      case dfg::Op::IndexSeq:
+        return Value(cl.seqLo + (j / cl.seqRepeat) % (cl.seqHi - cl.seqLo + 1));
+      case dfg::Op::AmFetch:
+        return (*sourceData[c])[static_cast<std::size_t>(k)];
+      default: VALPIPE_UNREACHABLE("not a source");
+    }
+  }
+
+  bool slotReady(const exec::Slot& s) const {
+    return s.full && s.readyAt <= now;
+  }
+  bool slotFree(const exec::Slot& s) const {
+    return !s.full && s.freedAt <= now;
+  }
+
+  bool portReady(const exec::Cell& cl, int port) const {
+    const std::uint32_t si = eg.slotOf(cl, port);
+    return eg.operandAt(si).isLiteral() || slotReady(slots[si]);
+  }
+
+  Value portValue(const exec::Cell& cl, int port) const {
+    const std::uint32_t si = eg.slotOf(cl, port);
+    const exec::Operand& o = eg.operandAt(si);
+    return o.isLiteral() ? o.literal : slots[si].v;
+  }
+
+  bool destsFree(exec::DestSpan ds) const {
+    for (const exec::Dest& d : ds)
+      if (!self().destFree(d)) return false;
+    return true;
+  }
+
+  /// Enabled test (phase A, reads only start-of-cycle lane-local state).
+  bool enabled(std::uint32_t c) const {
+    const exec::Cell& cl = eg.cell(c);
+    const exec::CellDyn& dyn = cellDyn[c];
+    if (dyn.busyUntil > now) return false;
+
+    if (dfg::isSource(cl.op)) {
+      if (dyn.emitted >= sourceLimit(c, cl)) return false;
+      return destsFree(eg.alwaysDests(cl));
+    }
+    std::optional<bool> gateVal;
+    if (cl.hasGate) {
+      if (!portReady(cl, exec::kGatePort)) return false;
+      gateVal = portValue(cl, exec::kGatePort).asBoolean();
+    }
+    if (cl.op == dfg::Op::Merge) {
+      if (!portReady(cl, 0)) return false;
+      const bool sel = portValue(cl, 0).asBoolean();
+      if (!portReady(cl, sel ? 1 : 2)) return false;
+    } else {
+      for (int p = 0; p < static_cast<int>(cl.numPorts); ++p)
+        if (!portReady(cl, p)) return false;
+    }
+    if (!dfg::producesResult(cl.op)) return true;
+    if (!destsFree(eg.alwaysDests(cl))) return false;
+    return !gateVal || destsFree(eg.taggedDests(cl, *gateVal));
+  }
+
+  void consume(const exec::Cell& cl, int port) {
+    const std::uint32_t si = eg.slotOf(cl, port);
+    const exec::Operand& o = eg.operandAt(si);
+    if (o.isLiteral()) return;
+    exec::Slot& s = slots[si];
+    s.full = false;
+    s.freedAt = now + cfg.ackDelay;
+    ++packets.ackPackets;
+    consumedAny = true;
+    // The acknowledge frees the producer's destination: it may re-enable
+    // from the instruction time the ack becomes visible.
+    self().ackProducer(o.producer, si, s.freedAt,
+                       std::max<std::int64_t>(s.freedAt, now + 1));
+  }
+
+  void deliver(exec::DestSpan ds, const Value& v, std::uint32_t from,
+               std::int64_t arrive) {
+    if (!ds.empty()) deliveredAny = true;
+    for (const exec::Dest& d : ds) {
+      // Packets between cells in different PEs traverse the distribution
+      // network (Fig. 1) and pay the extra hop.
+      const std::int64_t at =
+          arrive + router.extraDelay(from, d.consumer, packets);
+      ++packets.resultPackets;
+      self().deliverOne(d, v, at, std::max<std::int64_t>(at, now + 1));
+    }
+  }
+
+  /// deliverOne for a destination whose slot this lane owns.
+  void deliverLocal(const exec::Dest& d, const Value& v, std::int64_t at,
+                    std::int64_t wakeAt) {
+    exec::Slot& s = slots[d.slot];
+    VALPIPE_CHECK_MSG(!s.full, "result packet delivered into occupied slot");
+    s.full = true;
+    s.v = v;
+    s.readyAt = at;
+    self().wake(d.consumer, wakeAt);
+  }
+
+  /// Phase B: applies the firing of `c` at time `now`.
+  void fire(std::uint32_t c) {
+    const exec::Cell& cl = eg.cell(c);
+    exec::CellDyn& dyn = cellDyn[c];
+    ++firings[c];
+    ++totalFirings;
+    ++packets.opPacketsByClass[static_cast<std::size_t>(cl.fu)];
+    dyn.busyUntil = now + 1;
+    consumedAny = deliveredAny = false;
+
+    std::optional<Value> out;
+    std::optional<bool> gateVal;
+
+    if (dfg::isSource(cl.op)) {
+      out = sourceValue(c, cl, dyn.emitted);
+      ++dyn.emitted;
+    } else {
+      if (cl.hasGate) {
+        gateVal = portValue(cl, exec::kGatePort).asBoolean();
+        consume(cl, exec::kGatePort);
+      }
+      auto in = [&](int p) { return portValue(cl, p); };
+      switch (cl.op) {
+        case dfg::Op::Merge: {
+          const bool sel = in(0).asBoolean();
+          out = in(sel ? 1 : 2);
+          consume(cl, 0);
+          consume(cl, sel ? 1 : 2);
+          break;
+        }
+        case dfg::Op::Output: {
+          outputs[eg.streamName(cl)].push_back(in(0));
+          outputTimes[eg.streamName(cl)].push_back(now);
+          self().onOutput(stopSlotOf[c]);
+          break;
+        }
+        case dfg::Op::Sink: break;
+        case dfg::Op::AmStore: {
+          amFinal[eg.streamName(cl)].push_back(in(0));
+          // The store extends the region: matching fetchers may re-enable.
+          // (Fetchers of a stream are co-located with its store.)
+          for (std::uint32_t f : eg.fetchersOf(cl)) self().wake(f, now + 1);
+          break;
+        }
+        default: out = exec::applyPure(cl.op, in); break;
+      }
+      if (cl.op != dfg::Op::Merge)
+        for (int p = 0; p < static_cast<int>(cl.numPorts); ++p) consume(cl, p);
+    }
+
+    if (out.has_value()) {
+      router.noteFiring(c);
+      const std::int64_t arrive =
+          now + cfg.execLatency[static_cast<std::size_t>(cl.fu)] +
+          cfg.routeDelay;
+      deliver(eg.alwaysDests(cl), *out, c, arrive);
+      if (gateVal) deliver(eg.taggedDests(cl, *gateVal), *out, c, arrive);
+    }
+    // A firing that consumed a port or filled a destination will be re-woken
+    // by the matching refill / acknowledge; only a firing with neither (a
+    // source with no destinations, an all-literal consumer, ...) can be
+    // enabled again at now + 1 with no further event.
+    if (!consumedAny && !deliveredAny) self().wake(c, now + 1);
+  }
+
+  std::int64_t settleWindow() const {
+    return exec::quiesceWindow(
+        cfg.routeDelay, cfg.ackDelay,
+        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()));
+  }
+
+  /// Longest forward distance of any wake: a delivered packet's transit
+  /// (execution + routing + the inter-PE hop), an acknowledge, or a
+  /// function-unit release — a time wheel must span it without aliasing.
+  std::int64_t wakeHorizon() const {
+    return std::max<std::int64_t>(
+        std::max<std::int64_t>(1, cfg.ackDelay),
+        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()) +
+            cfg.routeDelay + cfg.interPeDelay);
+  }
+};
+
+/// The original pointer-walking stepper over dfg::Graph, kept verbatim as
+/// the verification oracle (machine/engine_reference.cpp); reached through
+/// simulate() with SchedulerKind::Reference.
+MachineResult simulateReference(const dfg::Graph& lowered,
+                                const MachineConfig& cfg,
+                                const StreamMap& inputs,
+                                const RunOptions& opts);
+
+/// The sharded event-driven scheduler (machine/engine_parallel.cpp);
+/// reached through simulate() with SchedulerKind::ParallelEventDriven.
+MachineResult simulateParallel(const dfg::Graph& lowered,
+                               const exec::ExecutableGraph& eg,
+                               const MachineConfig& cfg,
+                               const StreamMap& inputs,
+                               const RunOptions& opts);
+
+}  // namespace valpipe::machine::detail

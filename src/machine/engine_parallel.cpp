@@ -1,0 +1,622 @@
+// Sharded event-driven scheduler (SchedulerKind::ParallelEventDriven).
+//
+// Cells are partitioned into shards — following the run's Placement when one
+// is supplied, else the min-cut auto-partitioner — and each worker thread
+// owns its shard's time wheel, operand slots, cell state and (unlimited) FU
+// accounting.  The workers advance in lockstep over ACTIVE instruction
+// times only: a barrier completion computes the global next time as the
+// minimum of every shard's wheel and of the wake times of in-flight
+// cross-shard packets, so a step costs work proportional to events, exactly
+// like the serial event-driven loop.
+//
+// Cross-shard traffic is the paper's own packet vocabulary.  A result packet
+// to a remote consumer and an acknowledge to a remote producer travel
+// through per-ordered-pair SPSC mailboxes (exec/mailbox.hpp), drained by
+// the owning shard right after the decision barrier — before the time they
+// could first matter — in a fixed (sender, push-order) order.  To keep
+// phase A free of remote reads, each producer keeps a mirror of its
+// cross-shard destination slots: set full when the result is sent, cleared
+// with the freedAt stamp when the acknowledge drains.  Within one
+// instruction time every slot, mirror entry and firing counter is touched
+// by exactly one shard, and the barriers provide the happens-before edges,
+// so the shared arrays need no per-element synchronization.
+//
+// Finite function-unit classes are the one globally shared resource; their
+// candidates are collected per shard in rotation order and arbitrated
+// serially inside an extra barrier completion, merged in the global
+// rotation order the serial scheduler would have used.  Every MachineResult
+// field is therefore bit-identical to the EventDriven engine (and the
+// Reference oracle) for any shard count.
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dfg/lower.hpp"
+#include "exec/cell_state.hpp"
+#include "exec/executable_graph.hpp"
+#include "exec/fu_pool.hpp"
+#include "exec/mailbox.hpp"
+#include "exec/ready_queue.hpp"
+#include "exec/router.hpp"
+#include "exec/shard_plan.hpp"
+#include "machine/engine.hpp"
+#include "machine/engine_impl.hpp"
+#include "machine/placement.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::machine::detail {
+
+namespace {
+
+using exec::Cell;
+using exec::CellDyn;
+using exec::Dest;
+using exec::ExecutableGraph;
+using exec::Message;
+using exec::Operand;
+using exec::Slot;
+
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+/// Reusable barrier whose last arriver runs a completion callable before
+/// releasing the others.  Spins briefly then yields: the shard count may
+/// exceed the core count (CI containers), where pure spinning livelocks.
+/// Completions must not throw.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties) : parties_(parties) {}
+
+  template <class F>
+  void sync(F&& complete) {
+    const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      complete();
+      arrived_.store(0, std::memory_order_relaxed);
+      // Releases the completion's (and every arriver's) writes to the
+      // waiters' matching acquire loads.
+      phase_.store(phase + 1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (phase_.load(std::memory_order_acquire) == phase)
+        if (++spins > 512) std::this_thread::yield();
+    }
+  }
+
+  void sync() {
+    sync([] {});
+  }
+
+ private:
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+/// Per-shard state read by the barrier completions.  Padded so two shards'
+/// publishes never share a cache line.
+struct alignas(64) Pub {
+  std::int64_t localNext = kNever;    ///< shard wheel's earliest wake
+  std::int64_t minSentWake = kNever;  ///< earliest wake among in-flight sends
+  bool fired = false;                 ///< shard fired a cell this step
+  bool sentAny = false;               ///< shard pushed a mailbox message
+};
+
+struct Worker;
+
+/// Everything the shards share.  Writes to the plain arrays are disjoint by
+/// shard within a step (see file comment); the decision state at the bottom
+/// is written only inside barrier completions.
+struct Shared {
+  const ExecutableGraph& eg;
+  const MachineConfig& cfg;
+  const RunOptions& opts;
+  exec::ShardPlan plan;
+  exec::MailboxGrid mail;
+  SpinBarrier barrier;
+
+  std::vector<Slot> slots;          ///< owned by the consumer cell's shard
+  std::vector<CellDyn> cellDyn;     ///< owned by the cell's shard
+  std::vector<std::uint64_t> firings;
+  std::vector<std::uint8_t> mirrorFull;   ///< producer-side dest mirrors
+  std::vector<std::int64_t> mirrorFreed;
+
+  /// Expected outputs in StopCondition::slotFor order (std::map order).
+  std::vector<std::string> expNames;
+  std::vector<std::int64_t> expWant;
+  std::vector<std::vector<std::int64_t>> haveByShard;
+
+  /// Finite-FU arbitration: per-shard candidates (rotation order), the
+  /// global pool, and per-cell verdicts written by the completion.
+  bool anyLimited = false;
+  std::array<bool, 4> limitedClass{};
+  std::vector<std::vector<std::uint32_t>> limitedCand;
+  std::vector<std::uint32_t> mergeScratch;
+  exec::FuPool globalFu;
+  std::vector<std::uint8_t> fuGranted;
+  std::vector<std::int64_t> fuWakeAt;
+
+  std::vector<Pub> pubs;
+
+  // --- decision state (barrier completions only) ---
+  enum class Cmd { Run, Stop } cmd = Cmd::Run;
+  std::int64_t stepTime = 0;
+  bool skipDrain = false;
+  std::int64_t lastFire = -1;
+  std::int64_t prevNow = -1;
+  bool ranAny = false;  ///< at least one step processed (t = 0 comes first)
+  std::int64_t settle = 0;
+  std::int64_t finalNow = 0;
+  bool completed = false;
+  std::string note;
+
+  std::atomic<bool> abort{false};
+  std::vector<std::exception_ptr> errors;  ///< per shard
+
+  Shared(const ExecutableGraph& graph, const MachineConfig& config,
+         const RunOptions& o, exec::ShardPlan p)
+      : eg(graph),
+        cfg(config),
+        opts(o),
+        plan(std::move(p)),
+        mail(plan.shardCount),
+        barrier(plan.shardCount),
+        slots(graph.slotCount()),
+        cellDyn(graph.size()),
+        firings(graph.size(), 0),
+        mirrorFull(graph.slotCount(), 0),
+        mirrorFreed(graph.slotCount(), 0),
+        haveByShard(plan.shardCount),
+        limitedCand(plan.shardCount),
+        globalFu(config.fuUnits, config.execLatency),
+        fuGranted(graph.size(), 0),
+        fuWakeAt(graph.size(), 0),
+        pubs(plan.shardCount),
+        errors(plan.shardCount) {
+    for (const auto& [name, want] : opts.expectedOutputs) {
+      expNames.push_back(name);
+      expWant.push_back(want);
+    }
+    for (auto& have : haveByShard) have.assign(expNames.size(), 0);
+    for (std::size_t c = 0; c < 4; ++c)
+      if (cfg.fuUnits[c] != 0) limitedClass[c] = anyLimited = true;
+    mergeScratch.reserve(eg.size());
+    // Load-time tokens (counter-loop bootstraps) are present at t = 0, in
+    // the slots and in the producer-side mirrors alike.
+    for (std::uint32_t s = 0; s < eg.slotCount(); ++s) {
+      const Operand& o2 = eg.operandAt(s);
+      if (o2.hasInitial) {
+        slots[s].full = true;
+        slots[s].v = o2.initial;
+        mirrorFull[s] = 1;
+      }
+    }
+  }
+
+  /// Every expected stream with a positive count reached it (counts summed
+  /// across shards; a count passes every integer, so >= is ==).
+  bool outputsDone() const {
+    for (std::size_t i = 0; i < expWant.size(); ++i) {
+      if (expWant[i] <= 0) continue;
+      std::int64_t sum = 0;
+      for (const auto& have : haveByShard) sum += have[i];
+      if (sum < expWant[i]) return false;
+    }
+    return true;
+  }
+
+  /// Decision completion: replicates the serial event-driven loop's
+  /// end-of-step checks and next-time selection, once per active time.
+  void decide() {
+    if (abort.load(std::memory_order_relaxed)) {
+      cmd = Cmd::Stop;
+      return;
+    }
+    if (ranAny) {
+      bool fired = false;
+      for (const Pub& p : pubs) fired |= p.fired;
+      if (fired) lastFire = prevNow;
+      if (!expWant.empty() && outputsDone()) {
+        completed = true;
+        finalNow = prevNow + 1;
+        cmd = Cmd::Stop;
+        return;
+      }
+    }
+    std::int64_t next = kNever;
+    bool sent = false;
+    for (const Pub& p : pubs) {
+      next = std::min(next, std::min(p.localNext, p.minSentWake));
+      sent |= p.sentAny;
+    }
+    const std::int64_t tQuiesce = lastFire + settle + 1;
+    if (next == kNever || next > tQuiesce) {
+      // Nothing can fire before the idle counter trips.
+      if (tQuiesce >= opts.maxCycles) {
+        finalNow = opts.maxCycles;
+        cmd = Cmd::Stop;
+        return;
+      }
+      finalNow = tQuiesce;
+      completed = expWant.empty() || outputsDone();
+      if (!completed) note = "deadlock: outputs incomplete";
+      cmd = Cmd::Stop;
+      return;
+    }
+    if (next >= opts.maxCycles) {
+      finalNow = opts.maxCycles;
+      cmd = Cmd::Stop;
+      return;
+    }
+    prevNow = next;
+    ranAny = true;
+    stepTime = next;
+    skipDrain = !sent;
+    cmd = Cmd::Run;
+  }
+
+  /// Arbitration completion: merge every shard's finite-FU candidates into
+  /// the global rotation order the serial scheduler scans, and grant against
+  /// the one global pool.  FU classes are independent (per-class units), so
+  /// interleaving with the locally granted unlimited firings is immaterial.
+  void arbitrate() {
+    mergeScratch.clear();
+    for (const auto& cand : limitedCand)
+      mergeScratch.insert(mergeScratch.end(), cand.begin(), cand.end());
+    const auto n = static_cast<std::uint32_t>(eg.size());
+    const auto start =
+        static_cast<std::uint32_t>(static_cast<std::size_t>(stepTime) % n);
+    std::sort(mergeScratch.begin(), mergeScratch.end(),
+              [start, n](std::uint32_t a, std::uint32_t b) {
+                const std::uint32_t ra = a >= start ? a - start : a + n - start;
+                const std::uint32_t rb = b >= start ? b - start : b + n - start;
+                return ra < rb;
+              });
+    for (std::uint32_t id : mergeScratch) {
+      const dfg::FuClass fc = eg.cell(id).fu;
+      if (globalFu.tryGrant(fc, stepTime)) {
+        fuGranted[id] = 1;
+      } else {
+        fuGranted[id] = 0;
+        fuWakeAt[id] = globalFu.nextFree(fc);
+      }
+    }
+  }
+};
+
+/// One shard: an EngineBase lane whose hooks route remote events through
+/// the mailboxes and answer remote destination queries from the mirrors.
+struct Worker : EngineBase<Worker> {
+  Shared& sh;
+  const std::uint32_t me;
+  exec::ReadyQueue wheel;
+  exec::FuPool fuLocal;  ///< all-unlimited profile: busy accrual only
+  Pub& pub;
+  std::vector<std::int64_t>& have;
+  bool dead = false;  ///< shard failed; keeps the barrier cadence only
+
+  std::vector<std::uint32_t> cand, ordered, toFire;
+  std::vector<std::pair<std::uint32_t, bool>> pend;  ///< (cell, limited)
+  std::vector<std::int64_t> candAt;
+
+  Worker(Shared& s, std::uint32_t shard, const StreamMap& inputs)
+      : EngineBase(s.eg, s.cfg, s.opts),
+        sh(s),
+        me(shard),
+        wheel(s.eg.size(), wakeHorizon()),
+        fuLocal(std::array<int, 4>{0, 0, 0, 0}, s.cfg.execLatency),
+        pub(s.pubs[shard]),
+        have(s.haveByShard[shard]),
+        candAt(s.eg.size(), -1) {
+    slots = sh.slots.data();
+    cellDyn = sh.cellDyn.data();
+    firings = sh.firings.data();
+    // Bind this shard's streams (runs on the main thread, so input
+    // validation errors throw before any worker is spawned).
+    for (std::uint32_t c : myCells()) seedAm(c);
+    for (std::uint32_t c : myCells())
+      bindCell(c, inputs, [this](const std::string& name) {
+        for (std::size_t i = 0; i < sh.expNames.size(); ++i)
+          if (sh.expNames[i] == name) return static_cast<std::int32_t>(i);
+        return std::int32_t{-1};
+      });
+    if (opts.placement)
+      router = exec::Router(opts.placement->peOf, opts.placement->peCount,
+                            cfg.interPeDelay);
+  }
+
+  const std::vector<std::uint32_t>& myCells() const {
+    return sh.plan.cells[me];
+  }
+
+  // --- event-routing hooks -------------------------------------------------
+
+  void wake(std::uint32_t cell, std::int64_t at) { wheel.wake(cell, at); }
+
+  bool destFree(const Dest& d) const {
+    if (sh.plan.shardOf[d.consumer] == me) return slotFree(slots[d.slot]);
+    return sh.mirrorFull[d.slot] == 0 && sh.mirrorFreed[d.slot] <= now;
+  }
+
+  void send(std::uint32_t to, const Message& m) {
+    sh.mail.box(me, to).push(m);
+    pub.minSentWake = std::min(pub.minSentWake, m.wakeAt);
+    pub.sentAny = true;
+  }
+
+  void deliverOne(const Dest& d, const Value& v, std::int64_t at,
+                  std::int64_t wakeAt) {
+    const std::uint32_t to = sh.plan.shardOf[d.consumer];
+    if (to == me) {
+      deliverLocal(d, v, at, wakeAt);
+      return;
+    }
+    sh.mirrorFull[d.slot] = 1;
+    send(to, {Message::Kind::Result, d.consumer, d.slot, at, wakeAt, v});
+  }
+
+  void ackProducer(std::uint32_t producer, std::uint32_t slot,
+                   std::int64_t freedAt, std::int64_t wakeAt) {
+    const std::uint32_t to = sh.plan.shardOf[producer];
+    if (to == me) {
+      wake(producer, wakeAt);
+      return;
+    }
+    send(to, {Message::Kind::Acknowledge, producer, slot, freedAt, wakeAt,
+              Value{}});
+  }
+
+  void onOutput(std::int32_t stopSlot) {
+    if (stopSlot >= 0) ++have[static_cast<std::size_t>(stopSlot)];
+  }
+
+  // --- lockstep loop -------------------------------------------------------
+
+  /// Runs `f`; on failure records the error, flags the global abort and
+  /// turns this shard into a barrier-keeping zombie with neutral publishes.
+  template <class F>
+  void guarded(F&& f) {
+    if (dead) return;
+    try {
+      f();
+    } catch (...) {
+      sh.errors[me] = std::current_exception();
+      sh.abort.store(true, std::memory_order_relaxed);
+      dead = true;
+      pend.clear();
+      sh.limitedCand[me].clear();
+      pub.localNext = kNever;
+      pub.minSentWake = kNever;
+      pub.fired = false;
+      pub.sentAny = false;
+    }
+  }
+
+  void publish() {
+    pub.localNext = wheel.empty() ? kNever : wheel.nextTime();
+  }
+
+  /// Applies last step's cross-shard packets addressed to this shard, in
+  /// the deterministic (sender shard, push order) order.  The wheel cursor
+  /// must reach `t` first: a shard idle for longer than the wheel's ring
+  /// would otherwise alias the wakes into past buckets.
+  void drain(std::int64_t t) {
+    wheel.advanceTo(t);
+    for (std::uint32_t from = 0; from < sh.plan.shardCount; ++from) {
+      if (from == me) continue;
+      auto& box = sh.mail.box(from, me);
+      for (const Message& m : box.pending()) {
+        if (m.kind == Message::Kind::Result) {
+          Slot& s = slots[m.slot];
+          VALPIPE_CHECK_MSG(!s.full,
+                            "result packet delivered into occupied slot");
+          s.full = true;
+          s.v = m.v;
+          s.readyAt = m.time;
+        } else {
+          sh.mirrorFull[m.slot] = 0;
+          sh.mirrorFreed[m.slot] = m.time;
+        }
+        wake(m.cell, m.wakeAt);
+      }
+      box.clear();
+    }
+  }
+
+  /// Phase A at time `t`: pop this shard's woken cells, order them exactly
+  /// as the serial rotating scan would, and test enabling against
+  /// start-of-time state (shard-local by construction).
+  void phaseA(std::int64_t t) {
+    now = t;
+    pub.fired = false;
+    pub.minSentWake = kNever;
+    pub.sentAny = false;
+    sh.limitedCand[me].clear();
+    cand.clear();
+    // Advance even when empty: phase B's wakes land relative to this cursor.
+    wheel.advanceTo(t);
+    if (!wheel.empty() && wheel.nextTime() == t) wheel.pop(cand);
+    if (!cand.empty()) {
+      const auto n = static_cast<std::uint32_t>(eg.size());
+      const auto start =
+          static_cast<std::uint32_t>(static_cast<std::size_t>(t) % n);
+      const auto& mine = myCells();
+      if (cand.size() * 8 >= mine.size()) {
+        // Dense step: stamp and re-collect by one rotation-ordered pass
+        // over this shard's (ascending) cell list.
+        for (std::uint32_t id : cand) candAt[id] = t;
+        ordered.clear();
+        auto at = std::lower_bound(mine.begin(), mine.end(), start);
+        for (auto it = at; it != mine.end(); ++it)
+          if (candAt[*it] == t) ordered.push_back(*it);
+        for (auto it = mine.begin(); it != at; ++it)
+          if (candAt[*it] == t) ordered.push_back(*it);
+        cand.swap(ordered);
+      } else {
+        std::sort(cand.begin(), cand.end(),
+                  [start, n](std::uint32_t a, std::uint32_t b) {
+                    const std::uint32_t ra =
+                        a >= start ? a - start : a + n - start;
+                    const std::uint32_t rb =
+                        b >= start ? b - start : b + n - start;
+                    return ra < rb;
+                  });
+      }
+    }
+    pend.clear();
+    for (std::uint32_t id : cand) {
+      if (!enabled(id)) continue;
+      const dfg::FuClass fc = eg.cell(id).fu;
+      if (sh.limitedClass[static_cast<std::size_t>(fc)]) {
+        pend.emplace_back(id, true);
+        sh.limitedCand[me].push_back(id);
+      } else {
+        fuLocal.tryGrant(fc, now);  // unlimited: always granted, busy accrual
+        pend.emplace_back(id, false);
+      }
+    }
+  }
+
+  /// Phase B: fire the granted candidates in rotation order.
+  void phaseB() {
+    toFire.clear();
+    for (const auto& [id, limited] : pend) {
+      if (!limited || sh.fuGranted[id]) {
+        toFire.push_back(id);
+      } else {
+        wake(id, sh.fuWakeAt[id]);  // retry when a unit frees
+      }
+    }
+    for (std::uint32_t id : toFire) fire(id);
+    pub.fired = !toFire.empty();
+  }
+
+  void run() {
+    guarded([&] {
+      for (std::uint32_t c : myCells()) wheel.wake(c, 0);
+      publish();
+    });
+    for (;;) {
+      sh.barrier.sync([this] { sh.decide(); });
+      if (sh.cmd == Shared::Cmd::Stop) break;
+      const std::int64_t t = sh.stepTime;
+      if (!sh.skipDrain) {
+        guarded([&] { drain(t); });
+        sh.barrier.sync();
+      }
+      guarded([&] { phaseA(t); });
+      if (sh.anyLimited) sh.barrier.sync([this] { sh.arbitrate(); });
+      guarded([&] {
+        phaseB();
+        publish();
+      });
+    }
+  }
+};
+
+/// Shard count: the explicit knob, else the hardware's, clamped to [1, 8]
+/// and never more than one shard per cell.
+std::uint32_t resolveShards(const RunOptions& opts, std::size_t cells) {
+  std::uint32_t s;
+  if (opts.threads > 0) {
+    s = static_cast<std::uint32_t>(opts.threads);
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    s = std::clamp<std::uint32_t>(hw == 0 ? 1 : hw, 1, 8);
+  }
+  return std::min<std::uint32_t>(s,
+                                 static_cast<std::uint32_t>(
+                                     std::max<std::size_t>(cells, 1)));
+}
+
+}  // namespace
+
+MachineResult simulateParallel(const dfg::Graph& lowered,
+                               const ExecutableGraph& eg,
+                               const MachineConfig& cfg,
+                               const StreamMap& inputs,
+                               const RunOptions& opts) {
+  VALPIPE_CHECK_MSG(opts.threads >= 0, "negative thread count");
+  if (opts.placement)
+    VALPIPE_CHECK_MSG(opts.placement->peOf.size() == eg.size(),
+                      "placement does not match the graph");
+  const std::uint32_t S = resolveShards(opts, eg.size());
+
+  // Shard hints: the Placement's locality when supplied (contiguous PE
+  // groups map onto shards), else the min-cut auto-partitioner.
+  std::vector<std::uint32_t> hint(eg.size(), 0);
+  if (opts.placement) {
+    for (std::uint32_t c = 0; c < eg.size(); ++c)
+      hint[c] = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(opts.placement->peOf[c]) * S /
+          static_cast<std::uint32_t>(opts.placement->peCount));
+  } else if (S > 1) {
+    const Placement p =
+        assignCells(lowered, static_cast<int>(S), PlacementStrategy::MinCut);
+    for (std::uint32_t c = 0; c < eg.size(); ++c)
+      hint[c] = static_cast<std::uint32_t>(p.peOf[c]);
+  }
+
+  Shared sh(eg, cfg, opts, exec::buildShardPlan(eg, S, hint));
+  sh.settle = exec::quiesceWindow(
+      cfg.routeDelay, cfg.ackDelay,
+      *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()));
+
+  // Workers are constructed (and their inputs validated) on the main
+  // thread; the spawn provides the happens-before edge for the seeding.
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(S);
+  for (std::uint32_t s = 0; s < S; ++s)
+    workers.push_back(std::make_unique<Worker>(sh, s, inputs));
+
+  std::vector<std::thread> threads;
+  threads.reserve(S - 1);
+  for (std::uint32_t s = 1; s < S; ++s)
+    threads.emplace_back([&workers, s] { workers[s]->run(); });
+  workers[0]->run();  // the caller's thread drives shard 0
+  for (std::thread& t : threads) t.join();
+  for (std::uint32_t s = 0; s < S; ++s)
+    if (sh.errors[s]) std::rethrow_exception(sh.errors[s]);
+
+  // --- merge: shard lanes in shard order -----------------------------------
+  MachineResult res;
+  res.cycles = sh.finalNow;
+  res.completed = sh.completed;
+  res.note = sh.note;
+  if (sh.finalNow >= opts.maxCycles) res.note = "maxCycles exceeded";
+  res.firings = std::move(sh.firings);
+  res.fuBusy = sh.globalFu.busy();
+  res.amFinal = opts.amInitial;
+  if (opts.placement)
+    res.pePackets.assign(static_cast<std::size_t>(opts.placement->peCount), 0);
+  for (const auto& w : workers) {
+    res.totalFirings += w->totalFirings;
+    res.packets.resultPackets += w->packets.resultPackets;
+    res.packets.ackPackets += w->packets.ackPackets;
+    res.packets.networkResultPackets += w->packets.networkResultPackets;
+    for (std::size_t c = 0; c < 4; ++c) {
+      res.packets.opPacketsByClass[c] += w->packets.opPacketsByClass[c];
+      res.fuBusy[c] += w->fuLocal.busy()[c];
+    }
+    // Streams are uniquely owned by one shard (the plan co-locates every
+    // cell of a stream), so the merges below never collide; assigning over
+    // an amInitial entry keeps the preload-then-stores content.
+    for (auto& [name, vals] : w->outputs) res.outputs[name] = std::move(vals);
+    for (auto& [name, ts] : w->outputTimes)
+      res.outputTimes[name] = std::move(ts);
+    for (auto& [name, vals] : w->amFinal) res.amFinal[name] = std::move(vals);
+    if (opts.placement) {
+      const auto& pe = w->router.pePackets();
+      for (std::size_t i = 0; i < pe.size(); ++i) res.pePackets[i] += pe[i];
+    }
+  }
+  return res;
+}
+
+}  // namespace valpipe::machine::detail

@@ -12,6 +12,7 @@
 
 #include "dfg/lower.hpp"
 #include "machine/engine.hpp"
+#include "machine/engine_impl.hpp"
 #include "support/check.hpp"
 
 namespace valpipe::machine {
@@ -353,10 +354,10 @@ struct ReferenceEngine {
 
 }  // namespace
 
-MachineResult simulateReference(const dfg::Graph& lowered,
-                                const MachineConfig& cfg,
-                                const StreamMap& inputs,
-                                const RunOptions& opts) {
+MachineResult detail::simulateReference(const dfg::Graph& lowered,
+                                        const MachineConfig& cfg,
+                                        const StreamMap& inputs,
+                                        const RunOptions& opts) {
   ReferenceEngine engine(lowered, cfg, inputs, opts);
   engine.run();
   return std::move(engine.result);

@@ -1,0 +1,40 @@
+// Shared run-API vocabulary of the execution engines.
+//
+// The untimed Kahn interpreter (sim::interpret) and the timed machine
+// simulator (machine::simulate) accept the same input/output currency: named
+// scalar streams, pre-loaded array-memory regions, a wave count, and runaway
+// guards.  Both engines' option structs build on this header so callers can
+// prepare one set of streams/options and hand it to either engine; the old
+// per-engine aliases (sim::StreamMap, machine::StreamMap, sim::RunOptions)
+// remain as deprecated aliases for one release.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/value.hpp"
+
+namespace valpipe::run {
+
+/// Named streams: one wave of each array, least index first.
+using StreamMap = std::map<std::string, std::vector<Value>>;
+
+/// Options every engine understands.  Engine-specific option structs
+/// (machine::RunOptions) extend this; the untimed interpreter consumes it
+/// directly.
+struct RunOptions {
+  int waves = 1;  ///< how many array instances to stream through the graph
+
+  /// Pre-loaded array-memory contents (regions AmFetch cells read).
+  StreamMap amInitial;
+
+  /// Runaway guard of the untimed interpreter (firings are its only clock).
+  std::uint64_t maxFirings = 50'000'000;
+
+  /// Runaway guard of the timed simulator, in instruction times.
+  std::int64_t maxCycles = 100'000'000;
+};
+
+}  // namespace valpipe::run

@@ -10,23 +10,22 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "dfg/graph.hpp"
+#include "run/io.hpp"
 #include "support/value.hpp"
 
 namespace valpipe::sim {
 
-/// Named streams: one wave of each array, least index first.
-using StreamMap = std::map<std::string, std::vector<Value>>;
+/// Deprecated alias of run::StreamMap, kept for one release.
+using StreamMap = run::StreamMap;
 
-struct RunOptions {
-  int waves = 1;                       ///< how many array instances to stream
-  std::uint64_t maxFirings = 50'000'000;  ///< runaway guard
-  StreamMap amInitial;                 ///< pre-loaded array-memory contents
-};
+/// The interpreter consumes the shared run vocabulary directly (waves,
+/// amInitial, maxFirings).  Deprecated alias of run::RunOptions, kept for
+/// one release.
+using RunOptions = run::RunOptions;
 
 struct RunResult {
   StreamMap outputs;                   ///< collected Output streams

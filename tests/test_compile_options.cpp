@@ -1,0 +1,109 @@
+// CompileOptions validation: every rejected option combination must raise a
+// CompileError whose message names the offending option, so a user can go
+// straight from the diagnostic to the knob.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/compiler.hpp"
+#include "support/diagnostics.hpp"
+#include "testing.hpp"
+
+namespace valpipe {
+namespace {
+
+using core::CompileOptions;
+using core::ForIterScheme;
+
+/// Compiles example 2 (a simple linear for-iter) under `opts` and returns
+/// the CompileError message, failing if nothing was thrown.
+std::string compileError(const CompileOptions& opts,
+                         const std::string& src = testing::example2Source(8)) {
+  try {
+    core::compile(core::frontend(src), opts);
+  } catch (const CompileError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a CompileError";
+  return {};
+}
+
+TEST(CompileOptions, CompanionSkipNotPowerOfTwoNamesOption) {
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::Companion;
+  opts.companionSkip = 6;
+  const std::string msg = compileError(opts);
+  EXPECT_NE(msg.find("companionSkip"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("power of two"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("6"), std::string::npos) << msg;
+}
+
+TEST(CompileOptions, CompanionSkipBelowTwoNamesOption) {
+  for (int k : {0, 1, -4}) {
+    CompileOptions opts;
+    opts.forIterScheme = ForIterScheme::Companion;
+    opts.companionSkip = k;
+    const std::string msg = compileError(opts);
+    EXPECT_NE(msg.find("companionSkip"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(k)), std::string::npos) << msg;
+  }
+}
+
+TEST(CompileOptions, CompanionSkipExceedingTripCountNamesOption) {
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::Companion;
+  opts.companionSkip = 64;  // trip count is 8
+  const std::string msg = compileError(opts);
+  EXPECT_NE(msg.find("companionSkip"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("trip count"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("64"), std::string::npos) << msg;
+}
+
+TEST(CompileOptions, LongFifoInterleaveBelowTwoNamesOption) {
+  for (int b : {1, 0, -3}) {
+    CompileOptions opts;
+    opts.forIterScheme = ForIterScheme::LongFifo;
+    opts.interleave = b;
+    const std::string msg = compileError(opts);
+    EXPECT_NE(msg.find("interleave"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(b)), std::string::npos) << msg;
+  }
+}
+
+TEST(CompileOptions, CompanionOnNonlinearRecurrenceNamesScheme) {
+  // The recurrence multiplies T[i-1] by itself: not first-order linear, so
+  // the companion-function scheme cannot apply.
+  const std::string src = "const m = 8\n" +
+                          std::string(R"(function sq(B: array[real] [1, m]
+                returns array[real])
+  for i : integer := 1;
+      T : array[real] := [0: 0.5]
+  do let P : real := T[i-1]*T[i-1] + B[i]
+     in if i < m + 1 then iter T := T[i: P]; i := i + 1 enditer
+        else T endif
+     endlet
+  endfor
+endfun
+)");
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::Companion;
+  const std::string msg = compileError(opts, src);
+  EXPECT_NE(msg.find("Companion"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("not first-order linear"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Todd"), std::string::npos) << msg;
+}
+
+TEST(CompileOptions, ValidOptionsStillCompile) {
+  CompileOptions opts;
+  opts.forIterScheme = ForIterScheme::Companion;
+  opts.companionSkip = 4;
+  EXPECT_NO_THROW(
+      core::compile(core::frontend(testing::example2Source(8)), opts));
+  opts.forIterScheme = ForIterScheme::LongFifo;
+  opts.interleave = 2;
+  EXPECT_NO_THROW(
+      core::compile(core::frontend(testing::example2Source(8)), opts));
+}
+
+}  // namespace
+}  // namespace valpipe

@@ -29,29 +29,7 @@ using testing::GenOptions;
 using testing::ProgramGen;
 using testing::randomArray;
 
-/// Asserts two MachineResults are identical in every observable field.
-void expectIdentical(const MachineResult& got, const MachineResult& want,
-                     const std::string& what) {
-  EXPECT_EQ(got.outputs, want.outputs) << what << ": outputs";
-  EXPECT_EQ(got.amFinal, want.amFinal) << what << ": amFinal";
-  EXPECT_EQ(got.outputTimes, want.outputTimes) << what << ": outputTimes";
-  EXPECT_EQ(got.firings, want.firings) << what << ": firings";
-  EXPECT_EQ(got.totalFirings, want.totalFirings) << what << ": totalFirings";
-  EXPECT_EQ(got.cycles, want.cycles) << what << ": cycles";
-  EXPECT_EQ(got.completed, want.completed) << what << ": completed";
-  EXPECT_EQ(got.note, want.note) << what << ": note";
-  EXPECT_EQ(got.packets.opPacketsByClass, want.packets.opPacketsByClass)
-      << what << ": opPacketsByClass";
-  EXPECT_EQ(got.packets.resultPackets, want.packets.resultPackets)
-      << what << ": resultPackets";
-  EXPECT_EQ(got.packets.ackPackets, want.packets.ackPackets)
-      << what << ": ackPackets";
-  EXPECT_EQ(got.packets.networkResultPackets,
-            want.packets.networkResultPackets)
-      << what << ": networkResultPackets";
-  EXPECT_EQ(got.fuBusy, want.fuBusy) << what << ": fuBusy";
-  EXPECT_EQ(got.pePackets, want.pePackets) << what << ": pePackets";
-}
+using testing::expectIdentical;
 
 /// Runs all three schedulers on the same workload and checks the flattened
 /// ones against the reference stepper field-by-field.

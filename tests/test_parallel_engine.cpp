@@ -1,0 +1,250 @@
+// Parallel-engine equivalence suite: SchedulerKind::ParallelEventDriven must
+// produce a MachineResult identical in every observable field to the serial
+// EventDriven scheduler and the Reference oracle, for every shard count —
+// on randomly generated Val programs under the unit profile, hardware
+// timings, finite FU pools and explicit placements, and through the
+// deadlock / maxCycles / quiescence stop paths.  Also covers the shard-plan
+// invariants (stream co-location, hint-following) and the min-cut
+// auto-partitioner.  Runs under the ThreadSanitizer preset (ctest label
+// "tsan") to prove the mailbox/barrier discipline is race-free.
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "dfg/lower.hpp"
+#include "exec/executable_graph.hpp"
+#include "exec/shard_plan.hpp"
+#include "generators.hpp"
+#include "machine/engine.hpp"
+#include "machine/placement.hpp"
+#include "testing.hpp"
+#include "val/eval.hpp"
+
+namespace valpipe {
+namespace {
+
+using machine::MachineConfig;
+using machine::MachineResult;
+using machine::RunOptions;
+using machine::SchedulerKind;
+using testing::expectIdentical;
+using testing::GenOptions;
+using testing::ProgramGen;
+using testing::randomArray;
+
+/// Runs the serial event-driven scheduler and the Reference oracle, then the
+/// parallel scheduler at shard counts 1, 2, 4 and 8, and checks every result
+/// field-by-field.
+MachineResult runAllShardCounts(const dfg::Graph& lowered,
+                                const MachineConfig& cfg,
+                                const machine::StreamMap& in, RunOptions opts,
+                                const std::string& what) {
+  opts.scheduler = SchedulerKind::Reference;
+  const MachineResult ref = machine::simulate(lowered, cfg, in, opts);
+  opts.scheduler = SchedulerKind::EventDriven;
+  const MachineResult ed = machine::simulate(lowered, cfg, in, opts);
+  expectIdentical(ed, ref, what + " [event-driven vs reference]");
+  opts.scheduler = SchedulerKind::ParallelEventDriven;
+  for (int threads : {1, 2, 4, 8}) {
+    opts.threads = threads;
+    const MachineResult par = machine::simulate(lowered, cfg, in, opts);
+    expectIdentical(par, ref,
+                    what + " [parallel x" + std::to_string(threads) +
+                        " vs reference]");
+  }
+  return ref;
+}
+
+val::ArrayMap genInputs(const val::Module& mod, unsigned seed) {
+  val::ArrayMap in;
+  unsigned k = 0;
+  for (const val::Param& p : mod.params)
+    in[p.name] = randomArray(*p.type.range, seed + 100 * k++, 0.0, 1.0);
+  return in;
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, RandomProgramsBitIdenticalAtEveryShardCount) {
+  const int p = GetParam();
+  GenOptions gopts;
+  gopts.blocks = 1 + p % 3;
+  gopts.m = 8 + p % 5;
+  ProgramGen gen(static_cast<unsigned>(p) * 313 + 17, gopts);
+  const std::string src = gen.module();
+  SCOPED_TRACE(src);
+
+  val::Module mod = core::frontend(src);
+  const val::ArrayMap in = genInputs(mod, static_cast<unsigned>(p));
+  const auto prog = core::compile(mod);
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  const machine::StreamMap streams = testing::inputsFor(prog, in);
+
+  struct Variant {
+    std::string name;
+    MachineConfig cfg;
+    int peCount = 0;  // 0 => no placement
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"unit", MachineConfig::unit(), 0});
+  variants.push_back({"hardware", MachineConfig::hardware(), 0});
+  variants.push_back(
+      {"finite-fus", MachineConfig::hardware(/*fpus=*/2, /*alus=*/2,
+                                             /*ams=*/1),
+       0});
+  variants.push_back({"placed", MachineConfig::hardware(), 3});
+
+  for (const Variant& v : variants) {
+    RunOptions opts;
+    opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+    MachineConfig cfg = v.cfg;
+    if (v.peCount > 0) {
+      cfg.interPeDelay = 2;
+      opts.placement = machine::assignCells(
+          lowered, v.peCount, machine::PlacementStrategy::RoundRobin);
+    }
+    const MachineResult res =
+        runAllShardCounts(lowered, cfg, streams, opts, v.name);
+    ASSERT_TRUE(res.completed) << v.name << ": " << res.note;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalence, ::testing::Range(0, 8));
+
+TEST(ParallelEngine, StopPathsMatchSerial) {
+  const auto prog = core::compile(core::frontend(testing::example1Source(8)));
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  val::ArrayMap in;
+  in["B"] = randomArray({0, 9}, 41);
+  in["C"] = randomArray({0, 9}, 42);
+  const machine::StreamMap streams = testing::inputsFor(prog, in);
+
+  // Impossible expectation -> same deadlock note and cycle count.
+  RunOptions starve;
+  starve.expectedOutputs[prog.outputName] = 10'000;
+  runAllShardCounts(lowered, MachineConfig::unit(), streams, starve,
+                    "deadlock");
+
+  // Truncated run -> same maxCycles cut at every shard count.
+  RunOptions truncated;
+  truncated.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  truncated.maxCycles = 7;
+  runAllShardCounts(lowered, MachineConfig::hardware(), streams, truncated,
+                    "maxCycles");
+
+  // No expectation -> runs to quiescence with identical cycle counts.
+  RunOptions open;
+  const MachineResult res = runAllShardCounts(
+      lowered, MachineConfig::unit(), streams, open, "quiescence");
+  EXPECT_TRUE(res.completed);
+
+  // Multi-wave runs shard identically too.
+  RunOptions waves;
+  waves.waves = 2;
+  waves.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave() * 2;
+  runAllShardCounts(lowered, MachineConfig::unit(), streams, waves, "waves");
+}
+
+TEST(ParallelEngine, AutoThreadCountMatchesSerial) {
+  // threads = 0 resolves from the hardware; whatever it picks, the result
+  // contract is the same.
+  const auto prog = core::compile(core::frontend(testing::example2Source(12)));
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  val::ArrayMap in;
+  in["A"] = randomArray({1, 12}, 51, -0.8, 0.8);
+  in["B"] = randomArray({1, 12}, 52);
+  const machine::StreamMap streams = testing::inputsFor(prog, in);
+
+  RunOptions opts;
+  opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  opts.scheduler = SchedulerKind::EventDriven;
+  const MachineResult ed =
+      machine::simulate(lowered, MachineConfig::hardware(), streams, opts);
+  opts.scheduler = SchedulerKind::ParallelEventDriven;
+  opts.threads = 0;
+  const MachineResult par =
+      machine::simulate(lowered, MachineConfig::hardware(), streams, opts);
+  expectIdentical(par, ed, "auto threads");
+  EXPECT_TRUE(par.completed) << par.note;
+}
+
+TEST(ParallelEngine, ShardPlanColocatesStreamsAndFollowsHints) {
+  const auto prog = core::compile(core::frontend(testing::figure3Source(10)));
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  const exec::ExecutableGraph eg(lowered);
+
+  std::vector<std::uint32_t> hint(eg.size());
+  for (std::uint32_t c = 0; c < eg.size(); ++c) hint[c] = c;  // scatter
+  const exec::ShardPlan plan = exec::buildShardPlan(eg, 4, hint);
+
+  ASSERT_EQ(plan.shardCount, 4u);
+  ASSERT_EQ(plan.shardOf.size(), eg.size());
+  // Per-shard lists partition the cells, ascending.
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    total += plan.cells[s].size();
+    for (std::size_t i = 0; i < plan.cells[s].size(); ++i) {
+      EXPECT_EQ(plan.shardOf[plan.cells[s][i]], s);
+      if (i > 0) {
+        EXPECT_LT(plan.cells[s][i - 1], plan.cells[s][i]);
+      }
+    }
+  }
+  EXPECT_EQ(total, eg.size());
+  // Stream co-location: all Output/AmStore/AmFetch cells of one stream sit
+  // in one shard.
+  std::map<std::string, std::uint32_t> home;
+  for (std::uint32_t c = 0; c < eg.size(); ++c) {
+    const exec::Cell& cl = eg.cell(c);
+    if (cl.op != dfg::Op::Output && cl.op != dfg::Op::AmStore &&
+        cl.op != dfg::Op::AmFetch)
+      continue;
+    if (cl.stream < 0) continue;
+    auto [it, fresh] = home.emplace(eg.streamName(cl), plan.shardOf[c]);
+    if (!fresh) {
+      EXPECT_EQ(plan.shardOf[c], it->second)
+          << "stream " << eg.streamName(cl) << " split across shards";
+    }
+  }
+  // Unconstrained cells follow the hint.
+  for (std::uint32_t c = 0; c < eg.size(); ++c) {
+    const exec::Cell& cl = eg.cell(c);
+    const bool constrained =
+        (cl.op == dfg::Op::Output || cl.op == dfg::Op::AmStore ||
+         cl.op == dfg::Op::AmFetch) &&
+        cl.stream >= 0;
+    if (!constrained) {
+      EXPECT_EQ(plan.shardOf[c], hint[c] % 4);
+    }
+  }
+}
+
+TEST(ParallelEngine, MinCutPartitionerCutsNoMoreThanRoundRobin) {
+  const auto prog = core::compile(core::frontend(testing::figure3Source(24)));
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  for (int pes : {2, 4}) {
+    const auto rr = machine::assignCells(lowered, pes,
+                                         machine::PlacementStrategy::RoundRobin);
+    const auto mc = machine::assignCells(lowered, pes,
+                                         machine::PlacementStrategy::MinCut);
+    ASSERT_EQ(mc.peOf.size(), lowered.size());
+    for (int pe : mc.peOf) {
+      EXPECT_GE(pe, 0);
+      EXPECT_LT(pe, pes);
+    }
+    // Every PE keeps a reasonable share of the cells (balance band).
+    std::vector<std::size_t> size(static_cast<std::size_t>(pes), 0);
+    for (int pe : mc.peOf) ++size[static_cast<std::size_t>(pe)];
+    for (std::size_t s : size) EXPECT_GT(s, lowered.size() / (4u * pes));
+    EXPECT_LE(machine::crossPeArcFraction(lowered, mc),
+              machine::crossPeArcFraction(lowered, rr));
+    // Deterministic: same inputs, same partition.
+    const auto mc2 = machine::assignCells(lowered, pes,
+                                          machine::PlacementStrategy::MinCut);
+    EXPECT_EQ(mc.peOf, mc2.peOf);
+  }
+  EXPECT_STREQ(machine::toString(machine::PlacementStrategy::MinCut),
+               "min-cut");
+}
+
+}  // namespace
+}  // namespace valpipe

@@ -114,6 +114,32 @@ inline void expectStreamNear(const std::vector<Value>& got,
   }
 }
 
+/// Asserts two MachineResults are identical in every observable field —
+/// the scheduler-equivalence contract (all SchedulerKinds, any shard count).
+inline void expectIdentical(const machine::MachineResult& got,
+                            const machine::MachineResult& want,
+                            const std::string& what) {
+  EXPECT_EQ(got.outputs, want.outputs) << what << ": outputs";
+  EXPECT_EQ(got.amFinal, want.amFinal) << what << ": amFinal";
+  EXPECT_EQ(got.outputTimes, want.outputTimes) << what << ": outputTimes";
+  EXPECT_EQ(got.firings, want.firings) << what << ": firings";
+  EXPECT_EQ(got.totalFirings, want.totalFirings) << what << ": totalFirings";
+  EXPECT_EQ(got.cycles, want.cycles) << what << ": cycles";
+  EXPECT_EQ(got.completed, want.completed) << what << ": completed";
+  EXPECT_EQ(got.note, want.note) << what << ": note";
+  EXPECT_EQ(got.packets.opPacketsByClass, want.packets.opPacketsByClass)
+      << what << ": opPacketsByClass";
+  EXPECT_EQ(got.packets.resultPackets, want.packets.resultPackets)
+      << what << ": resultPackets";
+  EXPECT_EQ(got.packets.ackPackets, want.packets.ackPackets)
+      << what << ": ackPackets";
+  EXPECT_EQ(got.packets.networkResultPackets,
+            want.packets.networkResultPackets)
+      << what << ": networkResultPackets";
+  EXPECT_EQ(got.fuBusy, want.fuBusy) << what << ": fuBusy";
+  EXPECT_EQ(got.pePackets, want.pePackets) << what << ": pePackets";
+}
+
 /// Runs a compiled program through the untimed interpreter and checks its
 /// output against expected values.
 inline void checkInterpreted(const core::CompiledProgram& prog,
