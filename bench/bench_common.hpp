@@ -10,14 +10,19 @@
 
 #include <cmath>
 #include <cstdio>
-#include <random>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <random>
+#include <thread>
 #include <vector>
 
 #include "core/compiler.hpp"
 #include "dfg/lower.hpp"
 #include "dfg/stats.hpp"
 #include "machine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rate_report.hpp"
 #include "support/text.hpp"
 #include "val/eval.hpp"
 
@@ -49,10 +54,10 @@ inline std::vector<Value> randomStream(std::int64_t n, unsigned seed,
 }
 
 /// Input streams for a compiled program, sized from its declared types.
-inline machine::StreamMap randomInputs(const core::CompiledProgram& prog,
+inline run::StreamMap randomInputs(const core::CompiledProgram& prog,
                                        unsigned seed, double lo = -1.0,
                                        double hi = 1.0) {
-  machine::StreamMap in;
+  run::StreamMap in;
   unsigned k = 0;
   for (const auto& [name, range] : prog.inputs)
     in[name] =
@@ -70,7 +75,7 @@ struct RateResult {
 /// Runs a compiled program on the unit-profile machine and reports the
 /// steady output rate.
 inline RateResult measureRate(const core::CompiledProgram& prog,
-                              const machine::StreamMap& inputs, int waves = 1,
+                              const run::StreamMap& inputs, int waves = 1,
                               machine::MachineConfig cfg =
                                   machine::MachineConfig::unit()) {
   dfg::Graph lowered = dfg::isLowered(prog.graph)
@@ -83,6 +88,135 @@ inline RateResult measureRate(const core::CompiledProgram& prog,
   const machine::MachineResult res = machine::simulate(lowered, cfg, inputs, opts);
   return {res.steadyRate(prog.outputName), res.cycles, res.completed,
           res.packets};
+}
+
+/// Scheduler kind as the string recorded in reports.
+inline const char* schedulerName(machine::SchedulerKind k) {
+  switch (k) {
+    case machine::SchedulerKind::Reference: return "Reference";
+    case machine::SchedulerKind::Synchronous: return "Synchronous";
+    case machine::SchedulerKind::EventDriven: return "EventDriven";
+    case machine::SchedulerKind::ParallelEventDriven:
+      return "ParallelEventDriven";
+  }
+  return "?";
+}
+
+/// One JSON object built key by key (row of a BenchJson report).
+struct JsonObj {
+  std::ostringstream body;
+  bool first = true;
+
+  JsonObj& raw(const std::string& k, const std::string& v) {
+    body << (first ? "" : ", ") << "\"" << k << "\": " << v;
+    first = false;
+    return *this;
+  }
+  JsonObj& add(const std::string& k, const std::string& v) {
+    return raw(k, "\"" + v + "\"");
+  }
+  JsonObj& add(const std::string& k, const char* v) {
+    return add(k, std::string(v));
+  }
+  JsonObj& add(const std::string& k, double v) {
+    std::ostringstream ss;
+    ss << v;
+    return raw(k, ss.str());
+  }
+  JsonObj& add(const std::string& k, std::int64_t v) {
+    return raw(k, std::to_string(v));
+  }
+  JsonObj& add(const std::string& k, std::uint64_t v) {
+    return raw(k, std::to_string(v));
+  }
+  JsonObj& add(const std::string& k, int v) {
+    return add(k, static_cast<std::int64_t>(v));
+  }
+  JsonObj& add(const std::string& k, bool v) {
+    return raw(k, v ? "true" : "false");
+  }
+  std::string str() const { return "{" + body.str() + "}"; }
+};
+
+/// Machine-readable bench report: BENCH_<name>.json with the bench name,
+/// the host's hardware_concurrency and the scheduler kind stamped at top
+/// level (so numbers from a 1-core container read honestly), plus any extra
+/// top-level fields and an array of measurement rows.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench,
+                     machine::SchedulerKind scheduler =
+                         machine::SchedulerKind::EventDriven)
+      : bench_(bench) {
+    top_.add("bench", bench);
+    top_.add("hardware_concurrency",
+             static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+    top_.add("scheduler", schedulerName(scheduler));
+  }
+
+  /// Extra top-level field (workload description, audit line, ...).
+  template <class V>
+  void meta(const std::string& key, const V& v) {
+    top_.add(key, v);
+  }
+
+  void addRow(const JsonObj& row) { rows_.push_back(row.str()); }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  void write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::ofstream os(path);
+    os << "{" << top_.body.str() << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      os << "    " << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    os << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  JsonObj top_;
+  std::vector<std::string> rows_;
+};
+
+/// Re-runs a lowered graph with a MetricsSink attached and audits the §3
+/// max-pipelining claim cell by cell.  `periodBound` defaults to the paper's
+/// 2 instruction times; pass the derived bound for deliberately
+/// cycle-limited graphs (e.g. the Fig. 7 Todd scheme at rate k/S).
+inline obs::RateReport auditRun(const dfg::Graph& lowered,
+                                const run::StreamMap& inputs,
+                                const machine::RunOptions& base,
+                                std::int64_t periodBound = 2,
+                                machine::MachineConfig cfg =
+                                    machine::MachineConfig::unit()) {
+  obs::MetricsSink metrics;
+  machine::RunOptions opts = base;
+  opts.metrics = &metrics;
+  machine::simulate(lowered, cfg, inputs, opts);
+  return obs::auditMaxPipelining(lowered, metrics, periodBound);
+}
+
+/// auditRun for a compiled program: lowers it and expects one wave of its
+/// output stream.
+inline obs::RateReport auditProgram(const core::CompiledProgram& prog,
+                                    const run::StreamMap& inputs,
+                                    std::int64_t periodBound = 2,
+                                    int waves = 1) {
+  const dfg::Graph lowered = dfg::isLowered(prog.graph)
+                                 ? prog.graph
+                                 : dfg::expandFifos(prog.graph);
+  machine::RunOptions opts;
+  opts.waves = waves;
+  opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave() * waves;
+  return auditRun(lowered, inputs, opts, periodBound);
+}
+
+/// Prints the audit verdict line plus its structural diagnosis (printf
+/// flavor of RateReport::print, for the bench tables).
+inline void printAudit(const obs::RateReport& report) {
+  std::ostringstream ss;
+  report.print(ss);
+  std::printf("%s", ss.str().c_str());
 }
 
 /// Prints the experiment header in a consistent format.

@@ -53,13 +53,13 @@ struct Workload {
   std::string name;
   std::int64_t m = 0;
   dfg::Graph lowered;
-  machine::StreamMap inputs;
+  run::StreamMap inputs;
   machine::RunOptions opts;
 };
 
 Workload fromProgram(std::string name, std::int64_t m,
                      const core::CompiledProgram& prog,
-                     machine::StreamMap in) {
+                     run::StreamMap in) {
   Workload w;
   w.name = std::move(name);
   w.m = m;
@@ -145,6 +145,8 @@ int main(int argc, char** argv) {
       "identical results; event-driven >= 2x cell-cycles/sec on the m=4096 "
       "F6 forall graph");
 
+  bench::BenchJson json("engine_scaling");
+  json.meta("workload", "F2 / F6 / F8 graphs, schedulers side by side");
   TextTable table({"workload", "m", "cells", "cycles", "ref Mcc/s",
                    "sync Mcc/s", "ed Mcc/s", "ed/ref", "same"});
   double f6At4096Speedup = 0.0;
@@ -170,11 +172,23 @@ int main(int argc, char** argv) {
                     fmtDouble(cellCyclesPerSec(w, sync) / 1e6, 3),
                     fmtDouble(cellCyclesPerSec(w, ed) / 1e6, 3),
                     fmtDouble(speedup, 2), same ? "yes" : "NO"});
+      bench::JsonObj row;
+      row.add("workload", w.name)
+          .add("m", m)
+          .add("cells", static_cast<std::int64_t>(w.lowered.size()))
+          .add("ref_mccs", cellCyclesPerSec(w, ref) / 1e6)
+          .add("sync_mccs", cellCyclesPerSec(w, sync) / 1e6)
+          .add("ed_mccs", cellCyclesPerSec(w, ed) / 1e6)
+          .add("ed_over_ref", speedup)
+          .add("identical", same);
+      json.addRow(row);
     }
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("acceptance: event-driven vs reference on F6 forall, m=4096: "
               "%.2fx (target >= 2x) %s\n\n",
               f6At4096Speedup, f6At4096Speedup >= 2.0 ? "PASS" : "FAIL");
+  json.meta("f6_m4096_ed_over_ref", f6At4096Speedup);
+  json.write();
   return bench::runTimings(argc, argv);
 }

@@ -64,12 +64,32 @@ int main(int argc, char** argv) {
                 "3-stage pipeline for (a*b+2)*(a*b-3)",
                 "rate -> 0.5 results/instruction time, independent of n");
 
+  bench::BenchJson json("fig2");
+  json.meta("workload", "3-stage pipeline (a*b+2)*(a*b-3)");
   TextTable table({"n", "cells", "measured rate", "paper", "verdict"});
   for (std::int64_t n : {64, 256, 1024, 4096}) {
     const double rate = rateFor(n);
     table.addRow({std::to_string(n), "7", fmtDouble(rate, 4), "0.5",
                   rate > 0.48 ? "fully pipelined" : "DEGRADED"});
+    bench::JsonObj row;
+    row.add("n", n).add("rate", rate);
+    json.addRow(row);
   }
   std::printf("%s\n", table.str().c_str());
+
+  // §3 audit: re-run with the metrics sink and check every cell's steady
+  // firing period against the paper's bound of two instruction times.
+  {
+    const std::int64_t n = 1024;
+    dfg::Graph g = figure2Graph(n);
+    machine::RunOptions opts;
+    opts.expectedOutputs["x"] = n;
+    const obs::RateReport audit = bench::auditRun(
+        g, {{"a", bench::randomStream(n, 1)}, {"b", bench::randomStream(n, 2)}},
+        opts);
+    bench::printAudit(audit);
+    json.meta("audit", audit.line());
+  }
+  json.write();
   return bench::runTimings(argc, argv);
 }

@@ -52,15 +52,20 @@ int main(int argc, char** argv) {
       "pipeline: rate -> 0.5 with O(body) cells; parallel: O(n * body) "
       "cells (\"of limited interest\" for streams)");
 
+  bench::BenchJson json("fig6");
+  json.meta("workload", "Example 1 forall, pipeline vs parallel scheme");
   TextTable table({"m", "scheme", "cells", "FIFO slots", "rate", "paper"});
   for (std::int64_t m : {64, 256, 1024, 4096}) {
     const auto prog = core::compileSource(source(m));
     const auto in = bench::randomInputs(prog, 5);
+    const double rate = bench::measureRate(prog, in, 2).steadyRate;
     table.addRow({std::to_string(m), "pipeline",
                   std::to_string(prog.graph.loweredCellCount()),
                   std::to_string(prog.balance.buffersInserted),
-                  fmtDouble(bench::measureRate(prog, in, 2).steadyRate, 4),
-                  "0.5, ~const cells"});
+                  fmtDouble(rate, 4), "0.5, ~const cells"});
+    bench::JsonObj row;
+    row.add("m", m).add("scheme", "pipeline").add("rate", rate);
+    json.addRow(row);
     if (m <= 256) {
       core::CompileOptions par;
       par.forallScheme = core::ForallScheme::Parallel;
@@ -76,5 +81,15 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.str().c_str());
   std::printf("(parallel rows stop at m=256: cell count grows linearly, the "
               "scheme does not exploit the stream representation)\n\n");
+
+  // §3 audit of the pipeline scheme (Theorem 2).
+  {
+    const auto prog = core::compileSource(source(1024));
+    const obs::RateReport audit =
+        bench::auditProgram(prog, bench::randomInputs(prog, 5));
+    bench::printAudit(audit);
+    json.meta("audit", audit.line());
+  }
+  json.write();
   return bench::runTimings(argc, argv);
 }

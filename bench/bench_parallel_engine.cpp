@@ -36,7 +36,7 @@ endfun
 struct Workload {
   std::int64_t m = 0;
   dfg::Graph lowered;
-  machine::StreamMap inputs;
+  run::StreamMap inputs;
   machine::RunOptions opts;
 };
 
@@ -108,10 +108,9 @@ int main(int argc, char** argv) {
 
   TextTable table({"m", "cells", "cycles", "serial s", "threads", "par s",
                    "speedup", "same"});
-  std::ofstream json("BENCH_parallel_engine.json");
-  json << "{\n  \"bench\": \"parallel_engine\",\n  \"workload\": \"F6 forall\""
-       << ",\n  \"hardware_concurrency\": " << cores << ",\n  \"sweep\": [\n";
-  bool firstRow = true;
+  bench::BenchJson json("parallel_engine",
+                        SchedulerKind::ParallelEventDriven);
+  json.meta("workload", "F6 forall");
   for (std::int64_t m : {std::int64_t(1024), std::int64_t(4096)}) {
     const Workload w = f6Workload(m);
     const Timed serial = runTimed(w, SchedulerKind::EventDriven, 0);
@@ -124,18 +123,17 @@ int main(int argc, char** argv) {
                     std::to_string(par.res.cycles), fmtDouble(serial.seconds, 4),
                     std::to_string(threads), fmtDouble(par.seconds, 4),
                     fmtDouble(speedup, 2), same ? "yes" : "NO"});
-      if (!firstRow) json << ",\n";
-      firstRow = false;
-      json << "    {\"m\": " << m << ", \"threads\": " << threads
-           << ", \"serial_seconds\": " << serial.seconds
-           << ", \"parallel_seconds\": " << par.seconds
-           << ", \"speedup\": " << speedup << ", \"identical\": "
-           << (same ? "true" : "false") << "}";
+      bench::JsonObj row;
+      row.add("m", m)
+          .add("threads", threads)
+          .add("serial_seconds", serial.seconds)
+          .add("parallel_seconds", par.seconds)
+          .add("speedup", speedup)
+          .add("identical", same);
+      json.addRow(row);
     }
   }
-  json << "\n  ]\n}\n";
-  json.close();
   std::printf("%s\n", table.str().c_str());
-  std::printf("\nwrote BENCH_parallel_engine.json\n");
+  json.write();
   return bench::runTimings(argc, argv);
 }

@@ -46,7 +46,7 @@ endfun
                 b.name.c_str(), b.scheme.c_str(), b.predictedRate);
 
   // 2. Prepare input streams (arrays arrive as sequences of result packets).
-  sim::StreamMap inputs;
+  run::StreamMap inputs;
   for (const auto& [name, range] : prog.inputs) {
     std::vector<Value> stream;
     for (std::int64_t i = range.lo; i <= range.hi; ++i)

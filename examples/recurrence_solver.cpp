@@ -59,7 +59,7 @@ endfun
     const core::CompiledProgram prog = core::compile(mod, opts);
     const dfg::Graph code = dfg::expandFifos(prog.graph);
 
-    machine::StreamMap streams;
+    run::StreamMap streams;
     if (batch <= 1) {
       streams["W"] = inputs.at("W").elems;
       streams["S"] = inputs.at("S").elems;

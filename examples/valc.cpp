@@ -11,6 +11,8 @@
 //     --dot                                   print Graphviz to stdout
 //     --run [waves]                           simulate with ramp inputs
 //     --classify                              only report the program class
+//     --profile                               run + §3 audit + metrics JSON
+//     --trace FILE                            run + Chrome trace to FILE
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +25,10 @@
 #include "dfg/lower.hpp"
 #include "dfg/stats.hpp"
 #include "machine/engine.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rate_report.hpp"
+#include "obs/trace.hpp"
 #include "val/classify.hpp"
 
 namespace {
@@ -31,7 +37,7 @@ namespace {
   std::fprintf(stderr,
                "usage: valc [--scheme S] [--forall F] [--balance B] [--skip K]"
                " [--batch N] [--routing R] [--dot] [--run [waves]]"
-               " [--classify] file.val\n");
+               " [--classify] [--profile] [--trace FILE] file.val\n");
   std::exit(2);
 }
 
@@ -40,9 +46,9 @@ namespace {
 int main(int argc, char** argv) {
   using namespace valpipe;
   core::CompileOptions opts;
-  bool dot = false, classifyOnly = false;
+  bool dot = false, classifyOnly = false, profile = false;
   int runWaves = 0;
-  std::string path;
+  std::string path, tracePath;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -82,6 +88,10 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (arg == "--classify") {
       classifyOnly = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--trace") {
+      tracePath = next();
     } else if (arg == "--run") {
       runWaves = (a + 1 < argc && argv[a + 1][0] != '-' &&
                   std::isdigit(static_cast<unsigned char>(argv[a + 1][0])))
@@ -149,25 +159,55 @@ int main(int argc, char** argv) {
       std::printf("  predicted rate %.3f\n", b.predictedRate);
     }
 
+    // --profile and --trace need a run; give them one wave if --run didn't.
+    if ((profile || !tracePath.empty()) && runWaves == 0) runWaves = 1;
+
     if (runWaves > 0) {
-      machine::StreamMap streams;
+      run::StreamMap streams;
       for (const auto& [name, range] : prog.inputs) {
         std::vector<Value> v;
         for (std::int64_t k = 0; k < prog.inputLengthPerWave(name); ++k)
           v.push_back(Value(0.01 * static_cast<double>(k % 97)));
         streams[name] = std::move(v);
       }
+      const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+      obs::MetricsSink metrics;
+      obs::TraceSink trace;
       machine::RunOptions ropts;
       ropts.waves = runWaves;
       ropts.expectedOutputs[prog.outputName] =
           prog.expectedOutputPerWave() * runWaves;
+      if (profile) ropts.metrics = &metrics;
+      if (!tracePath.empty()) ropts.trace = &trace;
       const machine::MachineResult res =
-          machine::simulate(dfg::expandFifos(prog.graph),
-                            machine::MachineConfig::unit(), streams, ropts);
+          machine::simulate(lowered, machine::MachineConfig::unit(), streams,
+                            ropts);
       std::printf("  run: %s in %lld instruction times, steady rate %.3f\n",
                   res.completed ? "completed" : res.note.c_str(),
                   static_cast<long long>(res.cycles),
                   res.steadyRate(prog.outputName));
+
+      if (profile) {
+        const obs::RateReport audit = obs::auditMaxPipelining(lowered, metrics);
+        std::ostringstream report;
+        audit.print(report);
+        std::printf("  %s", report.str().c_str());
+        const obs::TraceMeta meta = obs::TraceMeta::of(lowered);
+        std::ostringstream jsonText;
+        metrics.writeJson(jsonText, &meta);
+        std::printf("%s", jsonText.str().c_str());
+      }
+      if (!tracePath.empty()) {
+        std::ofstream out(tracePath);
+        if (!out) {
+          std::fprintf(stderr, "valc: cannot write %s\n", tracePath.c_str());
+          return 1;
+        }
+        obs::writeChromeTrace(out, trace);
+        std::printf("  trace: wrote %s (load in chrome://tracing or "
+                    "https://ui.perfetto.dev)\n",
+                    tracePath.c_str());
+      }
     }
   } catch (const CompileError& e) {
     std::fprintf(stderr, "valc: %s\n", e.what());

@@ -3,6 +3,14 @@
 // Accumulated by the timed engine's firing/acknowledge/routing paths; the
 // per-class operation-packet split backs the paper's "<= 1/8 of operation
 // packets go to the array memories" claim.
+//
+// Width contract: every counter is std::uint64_t.  A fully pipelined graph
+// fires each cell once per two instruction times, so a modest m=4096,
+// waves=1024 bench already produces multi-million packet totals and a
+// 32-bit counter would wrap within seconds of simulated time.  The
+// static_asserts below pin the width so a refactor cannot silently narrow
+// them; tests/test_packet_counters.cpp checks exact counts on a
+// multi-million-firing run.
 #pragma once
 
 #include <array>
@@ -42,5 +50,12 @@ struct PacketCounters {
                             static_cast<double>(total);
   }
 };
+
+static_assert(sizeof(PacketCounters::resultPackets) == 8,
+              "packet counters must stay 64-bit (see width contract above)");
+static_assert(sizeof(PacketCounters::ackPackets) == 8 &&
+                  sizeof(PacketCounters::networkResultPackets) == 8 &&
+                  sizeof(PacketCounters::opPacketsByClass[0]) == 8,
+              "packet counters must stay 64-bit (see width contract above)");
 
 }  // namespace valpipe::exec

@@ -34,6 +34,8 @@
 #include "exec/router.hpp"
 #include "exec/stop.hpp"
 #include "machine/engine_impl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace valpipe::machine {
@@ -58,7 +60,7 @@ struct Engine : detail::EngineBase<Engine> {
   MachineResult result;
 
   Engine(const ExecutableGraph& graph, const MachineConfig& config,
-         const StreamMap& inputs, const RunOptions& o)
+         const run::StreamMap& inputs, const RunOptions& o)
       : EngineBase(graph, config, o),
         slotStore(graph.slotCount()),
         dynStore(graph.size()),
@@ -138,7 +140,11 @@ struct Engine : detail::EngineBase<Engine> {
       for (std::size_t k = 0; k < n; ++k) {
         const auto id = static_cast<std::uint32_t>((start + k) % n);
         if (!enabled(id)) continue;
-        if (!fu.tryGrant(eg.cell(id).fu, now)) continue;
+        const dfg::FuClass fc = eg.cell(id).fu;
+        if (!fu.tryGrant(fc, now)) {
+          probe.denied(id, now, fu.nextFree(fc));
+          continue;
+        }
         toFire.push_back(id);
       }
       for (std::uint32_t id : toFire) fire(id);
@@ -227,10 +233,13 @@ struct Engine : detail::EngineBase<Engine> {
       for (std::uint32_t id : cand) {
         if (!enabled(id)) continue;
         const dfg::FuClass fc = eg.cell(id).fu;
-        if (fu.tryGrant(fc, now))
+        if (fu.tryGrant(fc, now)) {
           toFire.push_back(id);
-        else
-          wake(id, fu.nextFree(fc));  // retry when a unit frees
+        } else {
+          const std::int64_t freeAt = fu.nextFree(fc);
+          probe.denied(id, now, freeAt);
+          wake(id, freeAt);  // retry when a unit frees
+        }
       }
       // Phase B: apply.
       for (std::uint32_t id : toFire) fire(id);
@@ -268,7 +277,7 @@ double MachineResult::steadyRate(const std::string& stream) const {
 }
 
 MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
-                       const StreamMap& inputs, const RunOptions& opts) {
+                       const run::StreamMap& inputs, const RunOptions& opts) {
   if (opts.scheduler == SchedulerKind::Reference)
     return detail::simulateReference(lowered, cfg, inputs, opts);
   VALPIPE_CHECK_MSG(dfg::isLowered(lowered),
@@ -277,10 +286,18 @@ MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
   if (opts.scheduler == SchedulerKind::ParallelEventDriven)
     return detail::simulateParallel(lowered, eg, cfg, inputs, opts);
   Engine engine(eg, cfg, inputs, opts);
-  if (opts.scheduler == SchedulerKind::Synchronous)
+  const bool sync = opts.scheduler == SchedulerKind::Synchronous;
+  if (opts.trace) opts.trace->begin(1, detail::traceMetaFor(lowered, opts));
+  if (opts.metrics) opts.metrics->begin(1, eg.size());
+  engine.probe = obs::LaneProbe(opts.trace, opts.metrics, 0);
+  if (sync)
     engine.runSynchronous();
   else
     engine.runEventDriven();
+  if (opts.metrics)
+    opts.metrics->finishRun(sync ? "Synchronous" : "EventDriven",
+                            engine.result.cycles, engine.result.fuBusy);
+  if (opts.trace) opts.trace->seal();
   return std::move(engine.result);
 }
 

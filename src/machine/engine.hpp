@@ -46,8 +46,8 @@
 
 namespace valpipe::machine {
 
-/// Deprecated alias of run::StreamMap, kept for one release.
-using StreamMap = run::StreamMap;
+/// Deprecated alias of run::StreamMap; slated for removal next release.
+using StreamMap [[deprecated("use run::StreamMap")]] = run::StreamMap;
 
 /// Packet traffic counters (§2's packet communication architecture).
 using PacketCounters = exec::PacketCounters;
@@ -77,8 +77,8 @@ struct RunOptions : run::RunOptions {
 };
 
 struct MachineResult {
-  StreamMap outputs;
-  StreamMap amFinal;
+  run::StreamMap outputs;
+  run::StreamMap amFinal;
   /// Arrival instruction-time of each element of each output stream.
   std::map<std::string, std::vector<std::int64_t>> outputTimes;
   std::vector<std::uint64_t> firings;  ///< per cell
@@ -104,6 +104,7 @@ struct MachineResult {
 /// SchedulerKind::Reference (the old simulateReference free function is
 /// gone).
 MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
-                       const StreamMap& inputs, const RunOptions& opts = {});
+                       const run::StreamMap& inputs,
+                       const RunOptions& opts = {});
 
 }  // namespace valpipe::machine

@@ -36,6 +36,7 @@
 #include "exec/router.hpp"
 #include "exec/stop.hpp"
 #include "machine/engine.hpp"
+#include "obs/probe.hpp"
 #include "support/check.hpp"
 
 namespace valpipe::machine::detail {
@@ -63,9 +64,9 @@ struct EngineBase {
   exec::Router router;
   exec::PacketCounters packets;
   std::uint64_t totalFirings = 0;
-  StreamMap outputs;
+  run::StreamMap outputs;
   std::map<std::string, std::vector<std::int64_t>> outputTimes;
-  StreamMap amFinal;
+  run::StreamMap amFinal;
 
   /// Input / AmFetch cells: the backing stream read by sourceValue.
   std::vector<const std::vector<Value>*> sourceData;
@@ -75,6 +76,11 @@ struct EngineBase {
   std::int64_t now = 0;
   bool consumedAny = false;   ///< current firing consumed a non-literal port
   bool deliveredAny = false;  ///< current firing filled a destination slot
+
+  /// This lane's observability hooks; inert (null sinks) unless the run was
+  /// given sinks in its RunOptions.  Every call below is a null-pointer test
+  /// when inert, keeping the no-sink fast path free.
+  obs::LaneProbe probe;
 
   EngineBase(const exec::ExecutableGraph& graph, const MachineConfig& config,
              const RunOptions& o)
@@ -114,7 +120,7 @@ struct EngineBase {
   /// input data, fetched region, or expected-output counter index given by
   /// `slotFor` (StopCondition::slotFor order).
   template <class SlotFor>
-  void bindCell(std::uint32_t c, const StreamMap& inputs,
+  void bindCell(std::uint32_t c, const run::StreamMap& inputs,
                 const SlotFor& slotFor) {
     const exec::Cell& cl = eg.cell(c);
     if (cl.op == dfg::Op::Input) {
@@ -212,7 +218,7 @@ struct EngineBase {
     return !gateVal || destsFree(eg.taggedDests(cl, *gateVal));
   }
 
-  void consume(const exec::Cell& cl, int port) {
+  void consume(std::uint32_t c, const exec::Cell& cl, int port) {
     const std::uint32_t si = eg.slotOf(cl, port);
     const exec::Operand& o = eg.operandAt(si);
     if (o.isLiteral()) return;
@@ -221,6 +227,7 @@ struct EngineBase {
     s.freedAt = now + cfg.ackDelay;
     ++packets.ackPackets;
     consumedAny = true;
+    probe.ack(o.producer, c, now, s.freedAt);
     // The acknowledge frees the producer's destination: it may re-enable
     // from the instruction time the ack becomes visible.
     self().ackProducer(o.producer, si, s.freedAt,
@@ -236,6 +243,7 @@ struct EngineBase {
       const std::int64_t at =
           arrive + router.extraDelay(from, d.consumer, packets);
       ++packets.resultPackets;
+      probe.result(from, d.consumer, now, at);
       self().deliverOne(d, v, at, std::max<std::int64_t>(at, now + 1));
     }
   }
@@ -260,6 +268,7 @@ struct EngineBase {
     ++packets.opPacketsByClass[static_cast<std::size_t>(cl.fu)];
     dyn.busyUntil = now + 1;
     consumedAny = deliveredAny = false;
+    probe.fire(c, now, cfg.execLatency[static_cast<std::size_t>(cl.fu)]);
 
     std::optional<Value> out;
     std::optional<bool> gateVal;
@@ -270,15 +279,15 @@ struct EngineBase {
     } else {
       if (cl.hasGate) {
         gateVal = portValue(cl, exec::kGatePort).asBoolean();
-        consume(cl, exec::kGatePort);
+        consume(c, cl, exec::kGatePort);
       }
       auto in = [&](int p) { return portValue(cl, p); };
       switch (cl.op) {
         case dfg::Op::Merge: {
           const bool sel = in(0).asBoolean();
           out = in(sel ? 1 : 2);
-          consume(cl, 0);
-          consume(cl, sel ? 1 : 2);
+          consume(c, cl, 0);
+          consume(c, cl, sel ? 1 : 2);
           break;
         }
         case dfg::Op::Output: {
@@ -298,7 +307,8 @@ struct EngineBase {
         default: out = exec::applyPure(cl.op, in); break;
       }
       if (cl.op != dfg::Op::Merge)
-        for (int p = 0; p < static_cast<int>(cl.numPorts); ++p) consume(cl, p);
+        for (int p = 0; p < static_cast<int>(cl.numPorts); ++p)
+          consume(c, cl, p);
     }
 
     if (out.has_value()) {
@@ -333,12 +343,23 @@ struct EngineBase {
   }
 };
 
+/// Trace naming/grouping for a run of `lowered`: graph names and FU classes,
+/// plus the Placement's PE assignment when the run has one.  Shared by the
+/// three simulate entry points so every scheduler labels cells identically.
+inline obs::TraceMeta traceMetaFor(const dfg::Graph& lowered,
+                                   const RunOptions& opts) {
+  obs::TraceMeta m = obs::TraceMeta::of(lowered);
+  if (opts.placement)
+    m.peOf.assign(opts.placement->peOf.begin(), opts.placement->peOf.end());
+  return m;
+}
+
 /// The original pointer-walking stepper over dfg::Graph, kept verbatim as
 /// the verification oracle (machine/engine_reference.cpp); reached through
 /// simulate() with SchedulerKind::Reference.
 MachineResult simulateReference(const dfg::Graph& lowered,
                                 const MachineConfig& cfg,
-                                const StreamMap& inputs,
+                                const run::StreamMap& inputs,
                                 const RunOptions& opts);
 
 /// The sharded event-driven scheduler (machine/engine_parallel.cpp);
@@ -346,7 +367,7 @@ MachineResult simulateReference(const dfg::Graph& lowered,
 MachineResult simulateParallel(const dfg::Graph& lowered,
                                const exec::ExecutableGraph& eg,
                                const MachineConfig& cfg,
-                               const StreamMap& inputs,
+                               const run::StreamMap& inputs,
                                const RunOptions& opts);
 
 }  // namespace valpipe::machine::detail

@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <limits>
@@ -49,6 +50,8 @@
 #include "machine/engine.hpp"
 #include "machine/engine_impl.hpp"
 #include "machine/placement.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace valpipe::machine::detail {
@@ -305,7 +308,7 @@ struct Worker : EngineBase<Worker> {
   std::vector<std::pair<std::uint32_t, bool>> pend;  ///< (cell, limited)
   std::vector<std::int64_t> candAt;
 
-  Worker(Shared& s, std::uint32_t shard, const StreamMap& inputs)
+  Worker(Shared& s, std::uint32_t shard, const run::StreamMap& inputs)
       : EngineBase(s.eg, s.cfg, s.opts),
         sh(s),
         me(shard),
@@ -411,6 +414,12 @@ struct Worker : EngineBase<Worker> {
     for (std::uint32_t from = 0; from < sh.plan.shardCount; ++from) {
       if (from == me) continue;
       auto& box = sh.mail.box(from, me);
+      if (obs::MetricsSink* ms = probe.metrics(); ms && !box.pending().empty()) {
+        obs::LaneStats& l = ms->lane(me);
+        l.mailboxMessages += box.pending().size();
+        l.maxMailboxDepth =
+            std::max<std::uint64_t>(l.maxMailboxDepth, box.pending().size());
+      }
       for (const Message& m : box.pending()) {
         if (m.kind == Message::Kind::Result) {
           Slot& s = slots[m.slot];
@@ -490,11 +499,30 @@ struct Worker : EngineBase<Worker> {
       if (!limited || sh.fuGranted[id]) {
         toFire.push_back(id);
       } else {
+        // Same examination point and wake time as the serial event-driven
+        // scheduler's failed grant, so FuDenied streams match it exactly.
+        probe.denied(id, now, sh.fuWakeAt[id]);
         wake(id, sh.fuWakeAt[id]);  // retry when a unit frees
       }
     }
     for (std::uint32_t id : toFire) fire(id);
     pub.fired = !toFire.empty();
+  }
+
+  /// Barrier sync, wall-clock timed only when a sink wants barrier-wait
+  /// accounting (the clock calls are not free at one sync per active time).
+  template <class F>
+  void syncTimed(F&& complete) {
+    if (!probe.wantsBarrier()) {
+      sh.barrier.sync(std::forward<F>(complete));
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    sh.barrier.sync(std::forward<F>(complete));
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    probe.barrier(me, now, ns);
   }
 
   void run() {
@@ -503,15 +531,15 @@ struct Worker : EngineBase<Worker> {
       publish();
     });
     for (;;) {
-      sh.barrier.sync([this] { sh.decide(); });
+      syncTimed([this] { sh.decide(); });
       if (sh.cmd == Shared::Cmd::Stop) break;
       const std::int64_t t = sh.stepTime;
       if (!sh.skipDrain) {
         guarded([&] { drain(t); });
-        sh.barrier.sync();
+        syncTimed([] {});
       }
       guarded([&] { phaseA(t); });
-      if (sh.anyLimited) sh.barrier.sync([this] { sh.arbitrate(); });
+      if (sh.anyLimited) syncTimed([this] { sh.arbitrate(); });
       guarded([&] {
         phaseB();
         publish();
@@ -540,7 +568,7 @@ std::uint32_t resolveShards(const RunOptions& opts, std::size_t cells) {
 MachineResult simulateParallel(const dfg::Graph& lowered,
                                const ExecutableGraph& eg,
                                const MachineConfig& cfg,
-                               const StreamMap& inputs,
+                               const run::StreamMap& inputs,
                                const RunOptions& opts) {
   VALPIPE_CHECK_MSG(opts.threads >= 0, "negative thread count");
   if (opts.placement)
@@ -574,6 +602,16 @@ MachineResult simulateParallel(const dfg::Graph& lowered,
   workers.reserve(S);
   for (std::uint32_t s = 0; s < S; ++s)
     workers.push_back(std::make_unique<Worker>(sh, s, inputs));
+
+  if (opts.trace) {
+    obs::TraceMeta meta = traceMetaFor(lowered, opts);
+    meta.laneOf.assign(sh.plan.shardOf.begin(), sh.plan.shardOf.end());
+    opts.trace->begin(S, std::move(meta));
+  }
+  if (opts.metrics) opts.metrics->begin(S, eg.size());
+  for (std::uint32_t s = 0; s < S; ++s)
+    workers[s]->probe = obs::LaneProbe(opts.trace, opts.metrics,
+                                       static_cast<std::uint8_t>(s));
 
   std::vector<std::thread> threads;
   threads.reserve(S - 1);
@@ -616,6 +654,9 @@ MachineResult simulateParallel(const dfg::Graph& lowered,
       for (std::size_t i = 0; i < pe.size(); ++i) res.pePackets[i] += pe[i];
     }
   }
+  if (opts.metrics)
+    opts.metrics->finishRun("ParallelEventDriven", res.cycles, res.fuBusy);
+  if (opts.trace) opts.trace->seal();
   return res;
 }
 

@@ -46,16 +46,20 @@ struct ReferenceEngine {
   const Graph& g;
   const MachineConfig& cfg;
   const Wiring wiring;
-  const StreamMap& inputs;
+  const run::StreamMap& inputs;
   const RunOptions& opts;
 
   std::vector<CellState> state;
   std::array<std::vector<std::int64_t>, 4> fuFreeAt;  ///< per class unit pool
   MachineResult result;
   std::int64_t now = 0;
+  /// Observability hooks (inert unless the run carries sinks); recording a
+  /// schedule the flattened engines must reproduce is part of this file's
+  /// oracle duty, and every call is a null test when off.
+  obs::LaneProbe probe;
 
   ReferenceEngine(const Graph& graph, const MachineConfig& config,
-                  const StreamMap& in, const RunOptions& o)
+                  const run::StreamMap& in, const RunOptions& o)
       : g(graph), cfg(config), wiring(graph), inputs(in), opts(o) {
     VALPIPE_CHECK_MSG(dfg::isLowered(g), "machine engine requires lowered graph");
     state.resize(g.size());
@@ -188,12 +192,13 @@ struct ReferenceEngine {
     const Node& n = g.node(id);
     Slot& s = port == dfg::kGatePort ? state[id.index].gate
                                      : state[id.index].ports[port];
-    const bool literal = port == dfg::kGatePort ? n.gate->isLiteral()
-                                                : n.inputs[port].isLiteral();
-    if (literal) return;
+    const dfg::PortSrc& src =
+        port == dfg::kGatePort ? *n.gate : n.inputs[port];
+    if (src.isLiteral()) return;
     s.full = false;
     s.freedAt = now + cfg.ackDelay;
     ++result.packets.ackPackets;
+    probe.ack(src.producer.index, id.index, now, s.freedAt);
   }
 
   /// Phase B: applies the firing of `id` at time `now`.
@@ -204,6 +209,7 @@ struct ReferenceEngine {
     ++result.totalFirings;
     ++result.packets.opPacketsByClass[static_cast<std::size_t>(dfg::fuClass(n.op))];
     cs.busyUntil = now + 1;
+    probe.fire(id.index, now, cfg.latencyOf(n.op));
 
     std::optional<Value> out;
     std::optional<bool> gateVal;
@@ -278,6 +284,7 @@ struct ReferenceEngine {
       }
       s.readyAt = at;
       ++result.packets.resultPackets;
+      probe.result(id.index, d.consumer.index, now, at);
     }
   }
 
@@ -296,6 +303,12 @@ struct ReferenceEngine {
       }
     }
     return false;
+  }
+
+  /// Earliest release time of the op's (finite) unit class.
+  std::int64_t unitNextFree(Op op) const {
+    const auto c = static_cast<std::size_t>(dfg::fuClass(op));
+    return *std::min_element(fuFreeAt[c].begin(), fuFreeAt[c].end());
   }
 
   bool outputsComplete() const {
@@ -329,7 +342,10 @@ struct ReferenceEngine {
       for (std::size_t k = 0; k < n; ++k) {
         const NodeId id{static_cast<std::uint32_t>((start + k) % n)};
         if (!enabled(id)) continue;
-        if (!grantUnit(g.node(id).op)) continue;
+        if (!grantUnit(g.node(id).op)) {
+          probe.denied(id.index, now, unitNextFree(g.node(id).op));
+          continue;
+        }
         toFire.push_back(id);
       }
       // Phase B: apply.
@@ -356,10 +372,17 @@ struct ReferenceEngine {
 
 MachineResult detail::simulateReference(const dfg::Graph& lowered,
                                         const MachineConfig& cfg,
-                                        const StreamMap& inputs,
+                                        const run::StreamMap& inputs,
                                         const RunOptions& opts) {
   ReferenceEngine engine(lowered, cfg, inputs, opts);
+  if (opts.trace) opts.trace->begin(1, detail::traceMetaFor(lowered, opts));
+  if (opts.metrics) opts.metrics->begin(1, lowered.size());
+  engine.probe = obs::LaneProbe(opts.trace, opts.metrics, 0);
   engine.run();
+  if (opts.metrics)
+    opts.metrics->finishRun("Reference", engine.result.cycles,
+                            engine.result.fuBusy);
+  if (opts.trace) opts.trace->seal();
   return std::move(engine.result);
 }
 

@@ -1,0 +1,107 @@
+#include "obs/rate_report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/paths.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace valpipe::obs {
+
+namespace {
+
+std::string periodText(std::int64_t period) {
+  if (period > kGapMax) return "> " + std::to_string(kGapMax);
+  return std::to_string(period);
+}
+
+/// Structural explanations of a stall: checkBalanced's verdict, the
+/// positive-slack arcs (short paths into a reconvergence point — the
+/// producer/consumer pairs whose length mismatch jams the pipe), and any
+/// feedback cycle longer than the bound allows.
+std::vector<std::string> diagnose(const dfg::Graph& g,
+                                  std::int64_t periodBound) {
+  std::vector<std::string> out;
+  const analysis::BalanceReport bal = analysis::checkBalanced(g);
+  if (!bal.balanced && !bal.reason.empty()) out.push_back(bal.reason);
+
+  if (analysis::topoOrder(g)) {
+    const std::vector<std::int64_t> depth = analysis::longestDepths(g);
+    for (const analysis::Arc& a : analysis::arcs(g)) {
+      if (a.feedback) continue;
+      const std::int64_t slack =
+          depth[a.to.index] - depth[a.from.index] - a.phaseLength;
+      if (slack <= 0) continue;
+      std::ostringstream ss;
+      ss << "unbalanced path: " << cellDisplayName(g, a.from.index) << " -> "
+         << cellDisplayName(g, a.to.index) << " is " << slack
+         << " stage(s) shorter than the longest reconverging path (needs "
+         << slack << " more buffer stage(s))";
+      out.push_back(ss.str());
+    }
+  }
+
+  for (const analysis::CycleInfo& c : analysis::feedbackCycles(g)) {
+    if (c.stages <= periodBound) continue;
+    std::ostringstream ss;
+    ss << "feedback cycle of " << c.stages << " stages closing "
+       << cellDisplayName(g, c.from.index) << " -> "
+       << cellDisplayName(g, c.to.index) << " caps the firing period at "
+       << c.stages << " per token of dependence distance";
+    out.push_back(ss.str());
+  }
+  return out;
+}
+
+}  // namespace
+
+RateReport auditMaxPipelining(const dfg::Graph& lowered,
+                              const MetricsSink& metrics,
+                              std::int64_t periodBound,
+                              std::uint64_t minFirings) {
+  RateReport r;
+  r.periodBound = periodBound;
+  const auto n = static_cast<std::uint32_t>(
+      std::min<std::size_t>(lowered.size(), metrics.cellCount()));
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const std::int64_t period = metrics.steadyPeriod(c, minFirings);
+    if (period < 0) continue;  // too few firings to carry a steady state
+    ++r.auditedCells;
+    if (period > periodBound) {
+      r.offenders.push_back(
+          {c, cellDisplayName(lowered, c), period, metrics.cell(c).firings});
+    }
+  }
+  r.fullyPipelined = r.auditedCells > 0 && r.offenders.empty();
+  if (!r.offenders.empty()) r.diagnosis = diagnose(lowered, periodBound);
+  return r;
+}
+
+std::string RateReport::line() const {
+  std::ostringstream ss;
+  if (fullyPipelined) {
+    ss << "fully pipelined: yes (" << auditedCells
+       << " cells at steady period <= " << periodBound << ")";
+  } else if (auditedCells == 0) {
+    ss << "fully pipelined: n/a (no cell fired often enough to audit)";
+  } else {
+    ss << "fully pipelined: NO — " << offenders.size() << " of " << auditedCells
+       << " cells exceed period " << periodBound << ":";
+    const std::size_t shown = std::min<std::size_t>(offenders.size(), 6);
+    for (std::size_t i = 0; i < shown; ++i) {
+      ss << (i ? ", " : " ") << offenders[i].name << " (period "
+         << periodText(offenders[i].period) << ")";
+    }
+    if (offenders.size() > shown) ss << ", ...";
+  }
+  return ss.str();
+}
+
+void RateReport::print(std::ostream& os) const {
+  os << line() << "\n";
+  for (const std::string& d : diagnosis) os << "    " << d << "\n";
+}
+
+}  // namespace valpipe::obs

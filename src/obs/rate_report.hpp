@@ -1,0 +1,59 @@
+// Max-pipelining auditor (§3, Theorems 1–2): checks the paper's claim on a
+// *measured* run instead of end-to-end output rates.
+//
+// A fully pipelined static dataflow graph fires every instruction cell once
+// per two instruction times.  The auditor takes the steady-state firing
+// period of each cell from a MetricsSink gap histogram, flags every cell
+// slower than the bound, and explains the flags structurally via
+// analysis/paths: the unbalanced producer/consumer path (positive-slack
+// arcs into a reconvergence point) or the feedback cycle whose stage count
+// caps the rate.  Graphs that are *designed* for a lower rate (e.g. the
+// Fig. 7 Todd scheme at rate k/S) audit against a bound of S/k derived from
+// their predicted rate instead of 2.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::obs {
+
+class MetricsSink;
+
+/// One cell slower than the audited bound.
+struct CellAudit {
+  std::uint32_t cell = 0;
+  std::string name;
+  std::int64_t period = 0;  ///< measured steady-state period (kGapMax+1 = "longer")
+  std::uint64_t firings = 0;
+};
+
+struct RateReport {
+  bool fullyPipelined = false;
+  std::int64_t periodBound = 2;       ///< bound the audit ran against
+  std::uint64_t auditedCells = 0;     ///< cells with enough firings to judge
+  std::vector<CellAudit> offenders;   ///< cells with period > bound
+  std::vector<std::string> diagnosis; ///< structural explanations of the stall
+
+  /// The benches' one-liner: "fully pipelined: yes (...)" or
+  /// "fully pipelined: NO — ...".
+  std::string line() const;
+
+  /// line() plus one indented diagnosis line per structural finding.
+  void print(std::ostream& os) const;
+};
+
+/// Audits a finished run of `lowered` (cell index == node index) recorded in
+/// `metrics`.  `periodBound` defaults to the paper's bound of 2 instruction
+/// times; pass `2 * S / k` (rounded up) for deliberately cycle-limited
+/// graphs.  Cells that fired fewer than `minFirings` times carry no steady
+/// state and are skipped.
+RateReport auditMaxPipelining(const dfg::Graph& lowered,
+                              const MetricsSink& metrics,
+                              std::int64_t periodBound = 2,
+                              std::uint64_t minFirings = 8);
+
+}  // namespace valpipe::obs

@@ -1,0 +1,73 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "dfg/opcode.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::obs {
+
+std::string cellDisplayName(const dfg::Graph& g, std::uint32_t cell) {
+  const dfg::Node& n = g.node(dfg::NodeId{cell});
+  if (!n.label.empty()) return n.label;
+  if (!n.streamName.empty())
+    return std::string(dfg::mnemonic(n.op)) + " " + n.streamName;
+  return std::string(dfg::mnemonic(n.op)) + " #" + std::to_string(cell);
+}
+
+TraceMeta TraceMeta::of(const dfg::Graph& lowered) {
+  TraceMeta m;
+  const auto n = static_cast<std::uint32_t>(lowered.size());
+  m.cellName.reserve(n);
+  m.fuOf.reserve(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    m.cellName.push_back(cellDisplayName(lowered, c));
+    m.fuOf.push_back(static_cast<std::uint8_t>(
+        dfg::fuClass(lowered.node(dfg::NodeId{c}).op)));
+  }
+  m.laneOf.assign(n, 0);
+  return m;
+}
+
+void TraceSink::begin(std::uint32_t lanes, TraceMeta meta) {
+  lanes_.assign(lanes, TraceBuffer{});
+  events_.clear();
+  meta_ = std::move(meta);
+  sealed_ = false;
+}
+
+void TraceSink::seal() {
+  VALPIPE_CHECK_MSG(!sealed_, "TraceSink sealed twice without begin()");
+  std::size_t total = 0;
+  for (const TraceBuffer& b : lanes_) total += b.events().size();
+  events_.clear();
+  events_.reserve(total);
+  for (TraceBuffer& b : lanes_) {
+    events_.insert(events_.end(), b.events().begin(), b.events().end());
+    b.clear();
+  }
+  // Stable: within one key, per-lane push order is schedule-determined and
+  // key ties can only come from the one lane that owns the involved cell.
+  std::stable_sort(events_.begin(), events_.end(), eventKeyLess);
+  sealed_ = true;
+}
+
+bool TraceSink::sameSchedule(const TraceSink& a, const TraceSink& b) {
+  VALPIPE_CHECK_MSG(a.sealed() && b.sealed(),
+                    "sameSchedule requires sealed traces");
+  auto next = [](const std::vector<Event>& v, std::size_t& i) -> const Event* {
+    while (i < v.size() && v[i].kind == EventKind::BarrierWait) ++i;
+    return i < v.size() ? &v[i] : nullptr;
+  };
+  std::size_t i = 0, j = 0;
+  for (;;) {
+    const Event* ea = next(a.events_, i);
+    const Event* eb = next(b.events_, j);
+    if (!ea || !eb) return !ea && !eb;
+    if (!eventKeyEqual(*ea, *eb)) return false;
+    ++i;
+    ++j;
+  }
+}
+
+}  // namespace valpipe::obs

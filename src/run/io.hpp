@@ -4,9 +4,9 @@
 // simulator (machine::simulate) accept the same input/output currency: named
 // scalar streams, pre-loaded array-memory regions, a wave count, and runaway
 // guards.  Both engines' option structs build on this header so callers can
-// prepare one set of streams/options and hand it to either engine; the old
+// prepare one set of streams/options and hand it to either engine.  The old
 // per-engine aliases (sim::StreamMap, machine::StreamMap, sim::RunOptions)
-// remain as deprecated aliases for one release.
+// are [[deprecated]] and slated for removal next release.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +15,11 @@
 #include <vector>
 
 #include "support/value.hpp"
+
+namespace valpipe::obs {
+class TraceSink;
+class MetricsSink;
+}  // namespace valpipe::obs
 
 namespace valpipe::run {
 
@@ -35,6 +40,12 @@ struct RunOptions {
 
   /// Runaway guard of the timed simulator, in instruction times.
   std::int64_t maxCycles = 100'000'000;
+
+  /// Observability sinks (src/obs/), honored by the timed machine engines
+  /// and ignored by the untimed interpreter (it has no instruction-time
+  /// axis).  Non-owning; null means off, and off costs nothing measurable.
+  obs::TraceSink* trace = nullptr;      ///< firing-level event capture
+  obs::MetricsSink* metrics = nullptr;  ///< firing counts / gaps / occupancy
 };
 
 }  // namespace valpipe::run

@@ -19,14 +19,14 @@ namespace {
 /// token queue per flat operand slot plus an emitted counter per source cell.
 struct Engine {
   const ExecutableGraph& eg;
-  const StreamMap& inputs;
-  const RunOptions& opts;
+  const run::StreamMap& inputs;
+  const run::RunOptions& opts;
 
   std::vector<std::deque<Value>> queues;  ///< indexed by flat slot
   std::vector<std::int64_t> emitted;      ///< per cell (sources only)
   RunResult result;
 
-  Engine(const ExecutableGraph& graph, const StreamMap& in, const RunOptions& o)
+  Engine(const ExecutableGraph& graph, const run::StreamMap& in, const run::RunOptions& o)
       : eg(graph), inputs(in), opts(o) {
     queues.resize(eg.slotCount());
     emitted.assign(eg.size(), 0);
@@ -195,8 +195,8 @@ struct Engine {
 
 }  // namespace
 
-RunResult interpret(const dfg::Graph& g, const StreamMap& inputs,
-                    const RunOptions& opts) {
+RunResult interpret(const dfg::Graph& g, const run::StreamMap& inputs,
+                    const run::RunOptions& opts) {
   const ExecutableGraph eg(g);
   Engine engine(eg, inputs, opts);
   engine.run();

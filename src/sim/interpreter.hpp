@@ -19,17 +19,17 @@
 
 namespace valpipe::sim {
 
-/// Deprecated alias of run::StreamMap, kept for one release.
-using StreamMap = run::StreamMap;
+/// Deprecated alias of run::StreamMap; slated for removal next release.
+using StreamMap [[deprecated("use run::StreamMap")]] = run::StreamMap;
 
 /// The interpreter consumes the shared run vocabulary directly (waves,
-/// amInitial, maxFirings).  Deprecated alias of run::RunOptions, kept for
-/// one release.
-using RunOptions = run::RunOptions;
+/// amInitial, maxFirings).  Deprecated alias of run::RunOptions; slated for
+/// removal next release.
+using RunOptions [[deprecated("use run::RunOptions")]] = run::RunOptions;
 
 struct RunResult {
-  StreamMap outputs;                   ///< collected Output streams
-  StreamMap amFinal;                   ///< array-memory contents after the run
+  run::StreamMap outputs;              ///< collected Output streams
+  run::StreamMap amFinal;              ///< array-memory contents after the run
   std::uint64_t firings = 0;
   bool quiescent = false;              ///< reached a state where nothing fires
   /// Non-empty when maxFirings was hit (likely a livelock / wrong control
@@ -39,7 +39,7 @@ struct RunResult {
 
 /// Runs graph `g` (composite FIFO nodes are fine here) on `inputs`.
 /// Input streams are replayed identically for every wave.
-RunResult interpret(const dfg::Graph& g, const StreamMap& inputs,
-                    const RunOptions& opts = {});
+RunResult interpret(const dfg::Graph& g, const run::StreamMap& inputs,
+                    const run::RunOptions& opts = {});
 
 }  // namespace valpipe::sim

@@ -24,7 +24,7 @@ using dfg::PortSrc;
 /// Builds a random acyclic graph over `n` packets: a few inputs, arithmetic
 /// cells over earlier streams/literals, occasional gates with random
 /// patterns, merges with complementary selections, and one output.
-Graph randomGraph(unsigned seed, std::int64_t n, machine::StreamMap& inputs) {
+Graph randomGraph(unsigned seed, std::int64_t n, run::StreamMap& inputs) {
   std::mt19937 rng(seed);
   std::uniform_real_distribution<double> val(-2.0, 2.0);
   Graph g;
@@ -84,7 +84,7 @@ Graph randomGraph(unsigned seed, std::int64_t n, machine::StreamMap& inputs) {
 class EnginesAgree : public ::testing::TestWithParam<int> {};
 
 TEST_P(EnginesAgree, SameOutputsUnderAnyTimingModel) {
-  machine::StreamMap inputs;
+  run::StreamMap inputs;
   const std::int64_t n = 24;
   const Graph g = randomGraph(static_cast<unsigned>(GetParam()) * 97 + 5, n,
                               inputs);

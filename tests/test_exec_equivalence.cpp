@@ -35,7 +35,7 @@ using testing::expectIdentical;
 /// ones against the reference stepper field-by-field.
 MachineResult runAllSchedulers(const dfg::Graph& lowered,
                                const MachineConfig& cfg,
-                               const machine::StreamMap& in, RunOptions opts,
+                               const run::StreamMap& in, RunOptions opts,
                                const std::string& what) {
   opts.scheduler = SchedulerKind::Reference;
   const MachineResult ref = machine::simulate(lowered, cfg, in, opts);
@@ -72,7 +72,7 @@ TEST_P(SchedulerEquivalence, RandomProgramsBitIdenticalAcrossSchedulers) {
   const auto ref = val::evaluate(mod, in);
   const auto prog = core::compile(mod);
   const dfg::Graph lowered = dfg::expandFifos(prog.graph);
-  const machine::StreamMap streams = testing::inputsFor(prog, in);
+  const run::StreamMap streams = testing::inputsFor(prog, in);
 
   struct Variant {
     std::string name;
@@ -127,7 +127,7 @@ TEST(SchedulerEquivalence, DeadlockMaxCyclesAndQuiescenceAgree) {
   val::ArrayMap in;
   in["B"] = randomArray({0, 9}, 11);
   in["C"] = randomArray({0, 9}, 12);
-  const machine::StreamMap streams = testing::inputsFor(prog, in);
+  const run::StreamMap streams = testing::inputsFor(prog, in);
 
   // Impossible expectation -> both report the same deadlock.
   RunOptions starve;

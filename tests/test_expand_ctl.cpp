@@ -21,7 +21,7 @@ using dfg::Op;
 
 /// Runs a lowered graph on the machine engine collecting `expect` outputs.
 machine::MachineResult runMachine(const Graph& g,
-                                  const machine::StreamMap& in,
+                                  const run::StreamMap& in,
                                   const std::string& out, std::int64_t expect) {
   machine::RunOptions opts;
   opts.expectedOutputs[out] = expect;

@@ -151,7 +151,7 @@ TEST(ForIter, LongFifoInterleavedBatchesAtFullRate) {
       inst[b] = exampleInputs(m, 200 + 10 * b);
       refs.push_back(val::evaluate(mod, inst[b]));
     }
-    machine::StreamMap interleaved;
+    run::StreamMap interleaved;
     for (const char* name : {"A", "B"}) {
       std::vector<Value> s;
       for (int i = 0; i < m; ++i)

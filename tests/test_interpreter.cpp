@@ -93,7 +93,7 @@ TEST(Interpreter, WavesReplayInputs) {
   Graph g;
   const NodeId in = g.input("a", 2);
   g.output("x", Graph::out(in));
-  RunOptions opts;
+  run::RunOptions opts;
   opts.waves = 3;
   const auto res = interpret(g, {{"a", reals({7, 8})}}, opts);
   EXPECT_EQ(res.outputs.at("x"), reals({7, 8, 7, 8, 7, 8}));
@@ -128,7 +128,7 @@ TEST(Interpreter, AmFetchFromPreloadedMemory) {
   Graph g;
   const NodeId fetch = g.amFetch("mem", 2);
   g.output("x", Graph::out(fetch));
-  RunOptions opts;
+  run::RunOptions opts;
   opts.amInitial["mem"] = reals({5, 6});
   const auto res = interpret(g, {}, opts);
   EXPECT_EQ(res.outputs.at("x"), reals({5, 6}));
@@ -178,7 +178,7 @@ TEST(Interpreter, MaxFiringsGuard) {
   Graph g;
   const NodeId forever = g.identity(Graph::lit(Value(0)));
   g.output("x", Graph::out(forever));
-  RunOptions opts;
+  run::RunOptions opts;
   opts.maxFirings = 1000;
   const auto res = interpret(g, {}, opts);
   EXPECT_FALSE(res.quiescent);

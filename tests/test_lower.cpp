@@ -36,7 +36,7 @@ TEST(Lower, PreservesSemantics) {
   const NodeId add = g.binary(Op::Add, buf, Graph::lit(Value(10)));
   g.output("x", Graph::out(add));
 
-  sim::StreamMap inputs{{"a", {Value(1), Value(2), Value(3)}}};
+  run::StreamMap inputs{{"a", {Value(1), Value(2), Value(3)}}};
   const auto before = sim::interpret(g, inputs);
   const auto after = sim::interpret(expandFifos(g), inputs);
   EXPECT_EQ(before.outputs.at("x"), after.outputs.at("x"));

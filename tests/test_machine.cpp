@@ -22,7 +22,7 @@ std::vector<Value> ramp(int n) {
   return out;
 }
 
-MachineResult run(const Graph& g, const StreamMap& in, std::int64_t expect,
+MachineResult run(const Graph& g, const run::StreamMap& in, std::int64_t expect,
                   MachineConfig cfg = MachineConfig::unit()) {
   RunOptions opts;
   opts.expectedOutputs["out"] = expect;

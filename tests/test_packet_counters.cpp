@@ -1,0 +1,111 @@
+// 64-bit packet-counter contract (exec/packet_counters.hpp).
+//
+// The counters are pinned to std::uint64_t by static_asserts in the header;
+// this test proves they stay *exact* at multi-million-firing scale.  Packet
+// traffic of the Figure 2 pipeline is exactly linear in the stream length, so
+// we derive the per-element slope from two short runs, confirm it on a third,
+// and then demand bit-exact agreement on a run with more than five million
+// firings — any narrowing or truncation in the accumulation paths breaks the
+// equality.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <type_traits>
+
+#include "dfg/graph.hpp"
+#include "exec/packet_counters.hpp"
+#include "machine/engine.hpp"
+
+namespace valpipe {
+namespace {
+
+static_assert(std::is_same_v<decltype(exec::PacketCounters::resultPackets),
+                             std::uint64_t>);
+static_assert(std::is_same_v<decltype(exec::PacketCounters::ackPackets),
+                             std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(exec::PacketCounters::networkResultPackets),
+                   std::uint64_t>);
+static_assert(std::is_same_v<decltype(exec::PacketCounters::opPacketsByClass),
+                             std::array<std::uint64_t, 4>>);
+
+using dfg::Graph;
+using dfg::Op;
+
+Graph figure2Graph(std::int64_t n) {
+  Graph g;
+  const auto a = g.input("a", n);
+  const auto b = g.input("b", n);
+  const auto y = g.binary(Op::Mul, Graph::out(a), Graph::out(b), "cell1");
+  const auto p =
+      g.binary(Op::Add, Graph::out(y), Graph::lit(Value(2.0)), "cell2");
+  const auto q =
+      g.binary(Op::Sub, Graph::out(y), Graph::lit(Value(3.0)), "cell3");
+  const auto r = g.binary(Op::Mul, Graph::out(p), Graph::out(q), "cell4");
+  g.output("x", Graph::out(r));
+  return g;
+}
+
+struct Counts {
+  std::uint64_t firings = 0;
+  std::uint64_t results = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t ops = 0;
+};
+
+Counts countsFor(std::int64_t n) {
+  Graph g = figure2Graph(n);
+  run::StreamMap in;
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (const char* name : {"a", "b"}) {
+    std::vector<Value> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) v.push_back(Value(dist(rng)));
+    in[name] = std::move(v);
+  }
+  machine::RunOptions opts;
+  opts.expectedOutputs["x"] = n;
+  const auto res =
+      machine::simulate(g, machine::MachineConfig::unit(), in, opts);
+  EXPECT_TRUE(res.completed) << res.note;
+  return {res.totalFirings, res.packets.resultPackets, res.packets.ackPackets,
+          res.packets.opPacketsTotal()};
+}
+
+TEST(PacketCounters, ExactAtMultiMillionFirings) {
+  const Counts c1 = countsFor(512);
+  const Counts c2 = countsFor(1024);
+
+  // Per-element slopes; must divide evenly (exact linearity).
+  const std::uint64_t df = (c2.firings - c1.firings) / 512;
+  const std::uint64_t dr = (c2.results - c1.results) / 512;
+  const std::uint64_t da = (c2.acks - c1.acks) / 512;
+  const std::uint64_t dop = (c2.ops - c1.ops) / 512;
+  ASSERT_EQ(c2.firings, c1.firings + df * 512);
+  ASSERT_EQ(c2.results, c1.results + dr * 512);
+  ASSERT_EQ(c2.acks, c1.acks + da * 512);
+  ASSERT_EQ(c2.ops, c1.ops + dop * 512);
+
+  // Confirm linearity holds at a third, non-power-of-two point.
+  const Counts c3 = countsFor(1536);
+  EXPECT_EQ(c3.firings, c1.firings + df * 1024);
+  EXPECT_EQ(c3.results, c1.results + dr * 1024);
+  EXPECT_EQ(c3.acks, c1.acks + da * 1024);
+  EXPECT_EQ(c3.ops, c1.ops + dop * 1024);
+
+  // The regression check: over five million firings, counted exactly.
+  const std::int64_t big = 800'000;
+  const Counts cb = countsFor(big);
+  EXPECT_GT(cb.firings, 5'000'000u);
+  EXPECT_EQ(cb.firings,
+            c1.firings + df * static_cast<std::uint64_t>(big - 512));
+  EXPECT_EQ(cb.results,
+            c1.results + dr * static_cast<std::uint64_t>(big - 512));
+  EXPECT_EQ(cb.acks, c1.acks + da * static_cast<std::uint64_t>(big - 512));
+  EXPECT_EQ(cb.ops, c1.ops + dop * static_cast<std::uint64_t>(big - 512));
+}
+
+}  // namespace
+}  // namespace valpipe

@@ -36,7 +36,7 @@ using testing::randomArray;
 /// field-by-field.
 MachineResult runAllShardCounts(const dfg::Graph& lowered,
                                 const MachineConfig& cfg,
-                                const machine::StreamMap& in, RunOptions opts,
+                                const run::StreamMap& in, RunOptions opts,
                                 const std::string& what) {
   opts.scheduler = SchedulerKind::Reference;
   const MachineResult ref = machine::simulate(lowered, cfg, in, opts);
@@ -77,7 +77,7 @@ TEST_P(ParallelEquivalence, RandomProgramsBitIdenticalAtEveryShardCount) {
   const val::ArrayMap in = genInputs(mod, static_cast<unsigned>(p));
   const auto prog = core::compile(mod);
   const dfg::Graph lowered = dfg::expandFifos(prog.graph);
-  const machine::StreamMap streams = testing::inputsFor(prog, in);
+  const run::StreamMap streams = testing::inputsFor(prog, in);
 
   struct Variant {
     std::string name;
@@ -116,7 +116,7 @@ TEST(ParallelEngine, StopPathsMatchSerial) {
   val::ArrayMap in;
   in["B"] = randomArray({0, 9}, 41);
   in["C"] = randomArray({0, 9}, 42);
-  const machine::StreamMap streams = testing::inputsFor(prog, in);
+  const run::StreamMap streams = testing::inputsFor(prog, in);
 
   // Impossible expectation -> same deadlock note and cycle count.
   RunOptions starve;
@@ -152,7 +152,7 @@ TEST(ParallelEngine, AutoThreadCountMatchesSerial) {
   val::ArrayMap in;
   in["A"] = randomArray({1, 12}, 51, -0.8, 0.8);
   in["B"] = randomArray({1, 12}, 52);
-  const machine::StreamMap streams = testing::inputsFor(prog, in);
+  const run::StreamMap streams = testing::inputsFor(prog, in);
 
   RunOptions opts;
   opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();

@@ -85,9 +85,9 @@ inline val::ArrayVal randomArray(val::Range range, unsigned seed,
 inline std::vector<Value> streamOf(const val::ArrayVal& a) { return a.elems; }
 
 /// Builds simulator inputs for a compiled program from named arrays.
-inline sim::StreamMap inputsFor(const core::CompiledProgram& prog,
+inline run::StreamMap inputsFor(const core::CompiledProgram& prog,
                                 const val::ArrayMap& arrays) {
-  sim::StreamMap in;
+  run::StreamMap in;
   for (const auto& [name, range] : prog.inputs) {
     auto it = arrays.find(name);
     if (it == arrays.end()) ADD_FAILURE() << "missing test input " << name;
@@ -146,7 +146,7 @@ inline void checkInterpreted(const core::CompiledProgram& prog,
                              const val::ArrayMap& inputs,
                              const std::vector<Value>& expected,
                              double tol = 0.0, int waves = 1) {
-  sim::RunOptions opts;
+  run::RunOptions opts;
   opts.waves = waves;
   const sim::RunResult res =
       sim::interpret(prog.graph, inputsFor(prog, inputs), opts);
