@@ -13,6 +13,14 @@
 //     --classify                              only report the program class
 //     --profile                               run + §3 audit + metrics JSON
 //     --trace FILE                            run + Chrome trace to FILE
+//     --faults SPEC                           run under a fault plan
+//                                             (seed=,jitter=,delay=,skew=,
+//                                             reorder,outage=CLASS@FROM+LEN,
+//                                             drop-result=,dup-result=,
+//                                             drop-ack=,dup-ack= per-mille)
+//     --guards                                enable runtime invariant guards
+//     --watchdog N                            abort + diagnose after N idle
+//                                             instruction times
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +32,8 @@
 #include "dfg/dot.hpp"
 #include "dfg/lower.hpp"
 #include "dfg/stats.hpp"
+#include "fault/plan.hpp"
+#include "guard/guard.hpp"
 #include "machine/engine.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
@@ -37,7 +47,8 @@ namespace {
   std::fprintf(stderr,
                "usage: valc [--scheme S] [--forall F] [--balance B] [--skip K]"
                " [--batch N] [--routing R] [--dot] [--run [waves]]"
-               " [--classify] [--profile] [--trace FILE] file.val\n");
+               " [--classify] [--profile] [--trace FILE] [--faults SPEC]"
+               " [--guards] [--watchdog N] file.val\n");
   std::exit(2);
 }
 
@@ -46,9 +57,11 @@ namespace {
 int main(int argc, char** argv) {
   using namespace valpipe;
   core::CompileOptions opts;
-  bool dot = false, classifyOnly = false, profile = false;
+  bool dot = false, classifyOnly = false, profile = false, guards = false;
   int runWaves = 0;
-  std::string path, tracePath;
+  std::int64_t watchdog = 0;
+  std::string path, tracePath, faultSpec;
+  bool haveFaults = false;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -92,6 +105,13 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--trace") {
       tracePath = next();
+    } else if (arg == "--faults") {
+      faultSpec = next();
+      haveFaults = true;
+    } else if (arg == "--guards") {
+      guards = true;
+    } else if (arg == "--watchdog") {
+      watchdog = std::atoll(next().c_str());
     } else if (arg == "--run") {
       runWaves = (a + 1 < argc && argv[a + 1][0] != '-' &&
                   std::isdigit(static_cast<unsigned char>(argv[a + 1][0])))
@@ -159,8 +179,12 @@ int main(int argc, char** argv) {
       std::printf("  predicted rate %.3f\n", b.predictedRate);
     }
 
-    // --profile and --trace need a run; give them one wave if --run didn't.
-    if ((profile || !tracePath.empty()) && runWaves == 0) runWaves = 1;
+    // --profile, --trace and the resilience flags need a run; give them one
+    // wave if --run didn't.
+    if ((profile || !tracePath.empty() || haveFaults || guards ||
+         watchdog > 0) &&
+        runWaves == 0)
+      runWaves = 1;
 
     if (runWaves > 0) {
       run::StreamMap streams;
@@ -179,6 +203,15 @@ int main(int argc, char** argv) {
           prog.expectedOutputPerWave() * runWaves;
       if (profile) ropts.metrics = &metrics;
       if (!tracePath.empty()) ropts.trace = &trace;
+      fault::Plan plan;
+      if (haveFaults) {
+        plan = fault::parsePlan(faultSpec);
+        ropts.faults = &plan;
+        std::printf("  faults: %s\n", fault::describe(plan).c_str());
+      }
+      guard::Config gcfg;
+      if (guards) ropts.guards = &gcfg;
+      ropts.watchdog = watchdog;
       const machine::MachineResult res =
           machine::simulate(lowered, machine::MachineConfig::unit(), streams,
                             ropts);
@@ -186,6 +219,8 @@ int main(int argc, char** argv) {
                   res.completed ? "completed" : res.note.c_str(),
                   static_cast<long long>(res.cycles),
                   res.steadyRate(prog.outputName));
+      if (const std::string injected = res.faults.str(); !injected.empty())
+        std::printf("  injected: %s\n", injected.c_str());
 
       if (profile) {
         const obs::RateReport audit = obs::auditMaxPipelining(lowered, metrics);
@@ -209,6 +244,12 @@ int main(int argc, char** argv) {
                     tracePath.c_str());
       }
     }
+  } catch (const guard::ViolationError& e) {
+    std::fprintf(stderr, "valc: guard violation: %s\n", e.what());
+    return 3;
+  } catch (const run::StallError& e) {
+    std::fprintf(stderr, "valc: stall: %s\n", e.what());
+    return 3;
   } catch (const CompileError& e) {
     std::fprintf(stderr, "valc: %s\n", e.what());
     return 1;

@@ -10,8 +10,17 @@
 // edge, so messages need no per-entry synchronization, and the fixed
 // (sender shard, push order) drain order keeps the parallel engine
 // bit-identical to the single-threaded one.
+//
+// Storage is a bounded power-of-two ring (capacity chosen at construction)
+// with an unbounded spill vector behind it: steady-state traffic stays in
+// the ring with no allocation, and bursts past the ring's capacity land in
+// the spill — counted by overflows(), the mailbox's backpressure signal.
+// Because a drain empties the whole box before the next push window, ring
+// entries are never freed mid-window and iteration order is exactly push
+// order (ring first, then spill).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -34,16 +43,61 @@ struct Message {
 };
 
 /// SPSC batch queue for one ordered shard pair.  push() is only called by
-/// the sending shard between two barriers; drain()/clear() only by the
+/// the sending shard between two barriers; forEach*/clear() only by the
 /// receiving shard in the following inter-barrier window.
 class Mailbox {
  public:
-  void push(const Message& m) { msgs_.push_back(m); }
-  const std::vector<Message>& pending() const { return msgs_; }
-  void clear() { msgs_.clear(); }  // keeps capacity across laps
+  explicit Mailbox(std::size_t capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+  }
+
+  void push(const Message& m) {
+    if (tail_ - head_ < ring_.size()) {
+      ring_[tail_ & (ring_.size() - 1)] = m;
+      ++tail_;
+    } else {
+      ++overflows_;
+      spill_.push_back(m);
+    }
+  }
+
+  std::size_t size() const { return (tail_ - head_) + spill_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Visits every pending message in push order.
+  template <class F>
+  void forEach(F&& f) const {
+    for (std::size_t i = head_; i != tail_; ++i)
+      f(ring_[i & (ring_.size() - 1)]);
+    for (const Message& m : spill_) f(m);
+  }
+
+  /// Visits every pending message in reverse push order (the fault
+  /// injector's mailbox-reorder mode).
+  template <class F>
+  void forEachReversed(F&& f) const {
+    for (std::size_t i = spill_.size(); i-- > 0;) f(spill_[i]);
+    for (std::size_t i = tail_; i != head_; --i)
+      f(ring_[(i - 1) & (ring_.size() - 1)]);
+  }
+
+  void clear() {  // keeps ring and spill capacity across laps
+    head_ = tail_ = 0;
+    spill_.clear();
+  }
+
+  /// Cumulative pushes that missed the ring and hit the spill vector —
+  /// the queue's backpressure indicator.
+  std::uint64_t overflows() const { return overflows_; }
 
  private:
-  std::vector<Message> msgs_;
+  std::vector<Message> ring_;  ///< power-of-two bounded buffer
+  std::size_t head_ = 0;       ///< absolute index of the first pending entry
+  std::size_t tail_ = 0;       ///< absolute index one past the last entry
+  std::vector<Message> spill_;
+  std::uint64_t overflows_ = 0;
 };
 
 /// Dense SxS mailbox matrix; box(from, to) is the pair's queue.

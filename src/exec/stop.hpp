@@ -49,6 +49,12 @@ class StopCondition {
   /// Whether quiescence counts as successful completion.
   bool quiescentOk() const { return want_.empty() || remaining_ == 0; }
 
+  // --- progress introspection (stall diagnosis) ---
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t i) const { return names_[i]; }
+  std::int64_t want(std::size_t i) const { return want_[i]; }
+  std::int64_t have(std::size_t i) const { return have_[i]; }
+
  private:
   std::vector<std::string> names_;
   std::vector<std::int64_t> want_;

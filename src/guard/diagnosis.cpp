@@ -1,0 +1,120 @@
+#include "guard/diagnosis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/paths.hpp"
+#include "guard/guard.hpp"
+
+namespace valpipe::guard {
+
+namespace {
+
+constexpr int kMaxCellsListed = 8;
+
+/// Why one waiting cell cannot fire, derived from its slots and its
+/// producer-side view of the arcs it feeds.
+struct CellDiag {
+  std::uint32_t cell = 0;
+  std::string why;
+  bool lostPacket = false;  ///< sorted first: these name the injected fault
+};
+
+}  // namespace
+
+std::string diagnoseStall(const char* why, const dfg::Graph* lowered,
+                          const exec::ExecutableGraph& eg,
+                          const exec::Slot* slots,
+                          const exec::CellDyn* cellDyn, std::int64_t now,
+                          const std::vector<OutputProgress>& progress,
+                          const fault::Counters& faults) {
+  (void)cellDyn;
+  std::ostringstream os;
+  os << why << " at t=" << now;
+
+  bool anyIncomplete = false;
+  for (const OutputProgress& p : progress) {
+    if (p.have >= p.want) continue;
+    if (!anyIncomplete) os << "\nincomplete outputs:";
+    anyIncomplete = true;
+    os << "\n  '" << p.name << "': " << p.have << "/" << p.want << " elements";
+  }
+
+  std::vector<CellDiag> diags;
+  for (std::uint32_t c = 0; c < eg.size(); ++c) {
+    const exec::Cell& cell = eg.cell(c);
+    const std::uint32_t ports = cell.numPorts + (cell.hasGate ? 1u : 0u);
+
+    // Consumer view: a cell holding some packets while missing others is
+    // visibly waiting; a lost-result sentinel pins the cause on the network.
+    std::uint32_t fullPorts = 0, wiredPorts = 0;
+    std::string waitingOn;
+    bool lost = false;
+    for (std::uint32_t p = 0; p < ports; ++p) {
+      const std::uint32_t slot = cell.firstPort + p;
+      const exec::Operand& op = eg.operandAt(slot);
+      if (op.isLiteral()) continue;
+      ++wiredPorts;
+      const exec::Slot& s = slots[slot];
+      if (s.full) {
+        ++fullPorts;
+        if (s.readyAt >= fault::kLostPacket) {
+          waitingOn = "result packet from " + cellLabel(eg, op.producer) +
+                      " was lost in the network";
+          lost = true;
+        }
+      } else if (waitingOn.empty()) {
+        waitingOn = "waiting on a result from " + cellLabel(eg, op.producer);
+      }
+    }
+    if (lost) {
+      diags.push_back({c, waitingOn, true});
+      continue;
+    }
+    if (wiredPorts > 0 && fullPorts > 0 && fullPorts < wiredPorts) {
+      diags.push_back({c, waitingOn, false});
+      continue;
+    }
+
+    // Producer view: every destination it last filled that was never
+    // acknowledged back keeps the cell from refiring.
+    for (const exec::Dest& d : eg.allDests(cell)) {
+      const exec::Slot& s = slots[d.slot];
+      if (s.freedAt >= fault::kLostPacket) {
+        diags.push_back({c, "acknowledge from " + cellLabel(eg, d.consumer) +
+                                " was lost in the network",
+                         true});
+        break;
+      }
+    }
+  }
+
+  // Lost-packet causes first: they are the actionable root cause.
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const CellDiag& a, const CellDiag& b) {
+                     return a.lostPacket > b.lostPacket;
+                   });
+  if (!diags.empty()) {
+    os << "\nblocked cells:";
+    int listed = 0;
+    for (const CellDiag& d : diags) {
+      if (listed++ == kMaxCellsListed) {
+        os << "\n  ... and " << (diags.size() - kMaxCellsListed) << " more";
+        break;
+      }
+      os << "\n  " << cellLabel(eg, d.cell) << ": " << d.why;
+    }
+  }
+
+  const std::string injected = faults.str();
+  if (!injected.empty()) os << "\ninjected faults: " << injected;
+
+  if (lowered) {
+    const analysis::BalanceReport rep = analysis::checkBalanced(*lowered);
+    if (!rep.balanced)
+      os << "\ngraph is not balanced: " << rep.reason;
+  }
+  return os.str();
+}
+
+}  // namespace valpipe::guard

@@ -1,0 +1,45 @@
+// Stall/deadlock diagnosis for the watchdog (run::RunOptions::watchdog) and
+// the maxInstructionTimes cap.
+//
+// When an engine quiesces (or hits its cap) with outputs incomplete, it
+// flattens its dynamic state into the shared exec::Slot / exec::CellDyn form
+// and calls diagnoseStall, which explains *why* nothing can fire: which
+// cells wait on which missing result or acknowledge, whether a fault
+// injector dropped the packet they wait for (the fault::kLostPacket
+// sentinel), and whether the lowered graph was unbalanced to begin with
+// (analysis::checkBalanced).  The resulting text becomes the
+// run::StallError message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/cell_state.hpp"
+#include "exec/executable_graph.hpp"
+#include "fault/plan.hpp"
+
+namespace valpipe::dfg {
+struct Graph;
+}
+
+namespace valpipe::guard {
+
+/// Progress of one named output stream at the moment of the stall.
+struct OutputProgress {
+  std::string name;
+  std::int64_t want = 0;
+  std::int64_t have = 0;
+};
+
+/// Builds the multi-line stall report.  `slots`/`cellDyn` are parallel to
+/// `eg`'s operand slots and cells; `lowered` may be null (balance check is
+/// then skipped).
+std::string diagnoseStall(const char* why, const dfg::Graph* lowered,
+                          const exec::ExecutableGraph& eg,
+                          const exec::Slot* slots,
+                          const exec::CellDyn* cellDyn, std::int64_t now,
+                          const std::vector<OutputProgress>& progress,
+                          const fault::Counters& faults);
+
+}  // namespace valpipe::guard

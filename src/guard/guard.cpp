@@ -1,0 +1,80 @@
+#include "guard/guard.hpp"
+
+#include <sstream>
+
+namespace valpipe::guard {
+
+const char* invariantName(Invariant inv) {
+  switch (inv) {
+    case Invariant::TokenConservation: return "token conservation";
+    case Invariant::NeverOverwrite: return "never-overwrite";
+    case Invariant::AckBalance: return "ack balance";
+    case Invariant::OneActiveInstance: return "one active instance";
+  }
+  return "?";
+}
+
+std::string cellLabel(const exec::ExecutableGraph& eg, std::uint32_t cell) {
+  std::ostringstream os;
+  os << "cell #" << cell;
+  if (cell < eg.size()) {
+    const exec::Cell& c = eg.cell(cell);
+    os << " (" << dfg::mnemonic(c.op);
+    const std::string& stream = eg.streamName(c);
+    if (!stream.empty()) os << " '" << stream << "'";
+    os << ")";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Reverse-maps a flat operand slot to its consumer cell and port.  Cold
+/// path: only runs while composing a violation message.
+struct SlotHome {
+  std::uint32_t consumer = 0;
+  int port = 0;
+  bool found = false;
+};
+
+SlotHome slotHome(const exec::ExecutableGraph& eg, std::uint32_t slot) {
+  SlotHome h;
+  for (std::uint32_t c = 0; c < eg.size(); ++c) {
+    const exec::Cell& cc = eg.cell(c);
+    const std::uint32_t ports = cc.numPorts + (cc.hasGate ? 1u : 0u);
+    if (slot >= cc.firstPort && slot < cc.firstPort + ports) {
+      h.consumer = c;
+      h.port = static_cast<int>(slot - cc.firstPort);
+      if (cc.hasGate && h.port == cc.numPorts) h.port = exec::kGatePort;
+      h.found = true;
+      return h;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+void LaneGuard::violate(Invariant inv, std::uint32_t cell, std::uint32_t slot,
+                        std::int64_t at) const {
+  std::ostringstream os;
+  os << "invariant '" << invariantName(inv) << "' violated at t=" << at
+     << " by " << cellLabel(*eg_, cell);
+  const SlotHome home = slotHome(*eg_, slot);
+  if (home.found) {
+    os << " on the arc into " << cellLabel(*eg_, home.consumer);
+    if (home.port == exec::kGatePort)
+      os << " gate port";
+    else
+      os << " port " << home.port;
+    const exec::Operand& op = eg_->operandAt(slot);
+    if (!op.isLiteral() && op.producer != home.consumer)
+      os << " (producer " << cellLabel(*eg_, op.producer) << ")";
+  }
+  os << "; arc counters: sent=" << st_->sent[slot]
+     << " acked=" << st_->acked[slot] << " delivered=" << st_->delivered[slot]
+     << " consumed=" << st_->consumed[slot];
+  throw ViolationError(inv, cell, static_cast<std::int64_t>(slot), os.str());
+}
+
+}  // namespace valpipe::guard

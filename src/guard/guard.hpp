@@ -1,0 +1,157 @@
+// Runtime invariant guards for the §2 acknowledge-arc discipline.
+//
+// The static architecture is only safe because of four invariants the
+// engines normally uphold by construction:
+//
+//   token conservation   — per arc, packets delivered never exceed packets
+//                          sent, and packets consumed never exceed packets
+//                          delivered;
+//   never-overwrite      — a result packet never lands in an occupied
+//                          operand slot;
+//   ack balance          — a producer never receives more acknowledges for
+//                          a destination than results it sent;
+//   one active instance  — a producer never sends into a destination whose
+//                          previous result is still un-acknowledged.
+//
+// Guards re-check these at run time against per-arc counters, catching both
+// engine bugs and the destructive class of injected faults (fault/plan.hpp).
+// They are opt-in through run::RunOptions::guards (null = off), and every
+// hook is a null-pointer test when off — the same zero-cost contract as the
+// obs probes.  A violation throws guard::ViolationError naming the invariant
+// and the cells on the offending arc.
+//
+// Parallel-engine ownership: `sent`/`acked` are only touched by the
+// producer cell's shard (sends in phase B, ack receipts in the drain
+// window), `delivered`/`consumed` only by the consumer cell's shard
+// (deliveries in phase B or the drain window, consumption in phase B); the
+// one cross-shard access — onDeliver reading `sent` during a drain — is
+// ordered after the sender's phase B by the step barrier.  Same disjointness
+// argument as the slot and mirror arrays (see engine_parallel.cpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/executable_graph.hpp"
+
+namespace valpipe::guard {
+
+/// Which invariants to enforce; all on by default.
+struct Config {
+  bool tokenConservation = true;
+  bool neverOverwrite = true;
+  bool ackBalance = true;
+  bool oneActiveInstance = true;
+};
+
+enum class Invariant {
+  TokenConservation,
+  NeverOverwrite,
+  AckBalance,
+  OneActiveInstance,
+};
+
+const char* invariantName(Invariant inv);
+
+/// A detected invariant violation: the structured fields identify the arc
+/// (flat operand slot) and the cell the check charged it to; what() carries
+/// the full human-readable message with both endpoint cells named.
+class ViolationError : public std::runtime_error {
+ public:
+  ViolationError(Invariant inv, std::uint32_t cell, std::int64_t slot,
+                 const std::string& what)
+      : std::runtime_error(what), inv_(inv), cell_(cell), slot_(slot) {}
+
+  Invariant invariant() const { return inv_; }
+  std::uint32_t cell() const { return cell_; }
+  std::int64_t slot() const { return slot_; }
+
+ private:
+  Invariant inv_;
+  std::uint32_t cell_;
+  std::int64_t slot_;
+};
+
+/// Per-arc packet counters, indexed by flat operand slot.  Load-time tokens
+/// count as one packet already sent and delivered (matching the engines'
+/// slot and mirror seeding).
+struct State {
+  explicit State(const exec::ExecutableGraph& eg)
+      : sent(eg.slotCount(), 0),
+        acked(eg.slotCount(), 0),
+        delivered(eg.slotCount(), 0),
+        consumed(eg.slotCount(), 0) {
+    for (std::uint32_t s = 0; s < eg.slotCount(); ++s)
+      if (eg.operandAt(s).hasInitial) sent[s] = delivered[s] = 1;
+  }
+
+  std::vector<std::int64_t> sent;       ///< producer-shard-owned
+  std::vector<std::int64_t> acked;      ///< producer-shard-owned
+  std::vector<std::int64_t> delivered;  ///< consumer-shard-owned
+  std::vector<std::int64_t> consumed;   ///< consumer-shard-owned
+};
+
+/// "cell #12 (MUL)" / "cell #3 (OUT 'x')" label for messages.
+std::string cellLabel(const exec::ExecutableGraph& eg, std::uint32_t cell);
+
+/// One lane's guard hooks over the shared per-run State.  Default-constructed
+/// guards are inert; every hook then costs one null test.
+class LaneGuard {
+ public:
+  LaneGuard() = default;
+  LaneGuard(const Config* cfg, State* st, const exec::ExecutableGraph* eg)
+      : cfg_(cfg), st_(st), eg_(eg) {}
+
+  bool active() const { return st_ != nullptr; }
+
+  /// Producer launches a result packet toward `slot` (before any fault may
+  /// drop the packet in flight — the send itself is what the invariant
+  /// constrains).
+  void onSend(std::uint32_t producer, std::uint32_t slot, std::int64_t at) {
+    if (!st_) return;
+    if (cfg_->oneActiveInstance && st_->sent[slot] - st_->acked[slot] != 0)
+      violate(Invariant::OneActiveInstance, producer, slot, at);
+    ++st_->sent[slot];
+  }
+
+  /// Producer receives the acknowledge freeing `slot`.
+  void onAck(std::uint32_t producer, std::uint32_t slot, std::int64_t at) {
+    if (!st_) return;
+    if (cfg_->ackBalance && st_->sent[slot] - st_->acked[slot] <= 0)
+      violate(Invariant::AckBalance, producer, slot, at);
+    ++st_->acked[slot];
+  }
+
+  /// A result packet lands in `slot` (`occupied` = slot already full).
+  void onDeliver(std::uint32_t consumer, std::uint32_t slot, bool occupied,
+                 std::int64_t at) {
+    if (!st_) return;
+    if (cfg_->neverOverwrite && occupied)
+      violate(Invariant::NeverOverwrite, consumer, slot, at);
+    if (cfg_->tokenConservation && st_->delivered[slot] >= st_->sent[slot])
+      violate(Invariant::TokenConservation, consumer, slot, at);
+    ++st_->delivered[slot];
+  }
+
+  /// Consumer fires and empties `slot` (`occupied` = slot held a packet).
+  void onConsume(std::uint32_t consumer, std::uint32_t slot, bool occupied,
+                 std::int64_t at) {
+    if (!st_) return;
+    if (cfg_->tokenConservation &&
+        (!occupied || st_->consumed[slot] >= st_->delivered[slot]))
+      violate(Invariant::TokenConservation, consumer, slot, at);
+    ++st_->consumed[slot];
+  }
+
+ private:
+  [[noreturn]] void violate(Invariant inv, std::uint32_t cell,
+                            std::uint32_t slot, std::int64_t at) const;
+
+  const Config* cfg_ = nullptr;
+  State* st_ = nullptr;
+  const exec::ExecutableGraph* eg_ = nullptr;
+};
+
+}  // namespace valpipe::guard

@@ -33,6 +33,7 @@
 #include "exec/ready_queue.hpp"
 #include "exec/router.hpp"
 #include "exec/stop.hpp"
+#include "guard/diagnosis.hpp"
 #include "machine/engine_impl.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -56,6 +57,8 @@ struct Engine : detail::EngineBase<Engine> {
   exec::FuPool fu;
   exec::StopCondition stop;
   exec::ReadyQueue* rq = nullptr;  ///< set while running event-driven
+  const dfg::Graph* lowered = nullptr;  ///< for the stall diagnosis
+  std::optional<guard::State> gst;
 
   MachineResult result;
 
@@ -68,6 +71,10 @@ struct Engine : detail::EngineBase<Engine> {
         stop(o.expectedOutputs) {
     slots = slotStore.data();
     cellDyn = dynStore.data();
+    if (opts.guards) {
+      gst.emplace(eg);
+      grd = guard::LaneGuard(opts.guards, &*gst, &eg);
+    }
     result.firings.assign(eg.size(), 0);
     firings = result.firings.data();
     // Load-time tokens (counter-loop bootstraps): present at t = 0.
@@ -106,14 +113,42 @@ struct Engine : detail::EngineBase<Engine> {
                   std::int64_t wakeAt) {
     deliverLocal(d, v, at, wakeAt);
   }
-  void ackProducer(std::uint32_t producer, std::uint32_t /*slot*/,
+  void ackProducer(std::uint32_t producer, std::uint32_t slot,
                    std::int64_t /*freedAt*/, std::int64_t wakeAt) {
+    grd.onAck(producer, slot, now);
     wake(producer, wakeAt);
   }
   void onOutput(std::int32_t stopSlot) { stop.onOutput(stopSlot); }
 
+  /// The run-length cap: maxInstructionTimes tightens maxCycles when set.
+  std::int64_t capCycles() const {
+    return opts.maxInstructionTimes > 0
+               ? std::min(opts.maxInstructionTimes, opts.maxCycles)
+               : opts.maxCycles;
+  }
+
+  /// Idle window after which the machine is declared stuck: the natural
+  /// settle window, or the caller's watchdog if that is longer.
+  std::int64_t idleWindow() const {
+    return opts.watchdog > 0 ? std::max(settleWindow(), opts.watchdog)
+                             : settleWindow();
+  }
+
+  [[noreturn]] void throwStall(const char* why) {
+    std::vector<guard::OutputProgress> progress;
+    for (std::size_t i = 0; i < stop.size(); ++i)
+      progress.push_back({stop.name(i), stop.want(i), stop.have(i)});
+    throw run::StallError(
+        now, guard::diagnoseStall(why, lowered, eg, slots, cellDyn, now,
+                                  progress, inj.counters));
+  }
+
   void finish() {
+    if (!result.completed && opts.maxInstructionTimes > 0 &&
+        now >= capCycles() && !stop.quiescentOk())
+      throwStall("instruction-time cap reached with outputs incomplete");
     if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
+    result.faults = inj.counters;
     result.cycles = now;
     result.fuBusy = fu.busy();
     if (router.active()) result.pePackets = router.pePackets();
@@ -130,10 +165,12 @@ struct Engine : detail::EngineBase<Engine> {
     const std::size_t n = eg.size();
     std::vector<std::uint32_t> toFire;
     toFire.reserve(n);
-    const std::int64_t settle = settleWindow();
+    const std::int64_t window = idleWindow();
+    const std::int64_t floorTime = inj.quiesceFloor();
+    const std::int64_t cap = capCycles();
     std::int64_t idle = 0;
 
-    for (now = 0; now < opts.maxCycles; ++now) {
+    for (now = 0; now < cap; ++now) {
       toFire.clear();
       const std::size_t start =
           n == 0 ? 0 : static_cast<std::size_t>(now) % n;
@@ -141,6 +178,10 @@ struct Engine : detail::EngineBase<Engine> {
         const auto id = static_cast<std::uint32_t>((start + k) % n);
         if (!enabled(id)) continue;
         const dfg::FuClass fc = eg.cell(id).fu;
+        if (const std::int64_t until = inj.outageUntil(fc, now); until > now) {
+          probe.denied(id, now, until);
+          continue;
+        }
         if (!fu.tryGrant(fc, now)) {
           probe.denied(id, now, fu.nextFree(fc));
           continue;
@@ -155,9 +196,13 @@ struct Engine : detail::EngineBase<Engine> {
         break;
       }
       idle = toFire.empty() ? idle + 1 : 0;
-      if (idle > settle) {
+      if (idle > window && now >= floorTime) {
         result.completed = stop.quiescentOk();
-        if (!result.completed) result.note = "deadlock: outputs incomplete";
+        if (!result.completed) {
+          if (opts.watchdog > 0)
+            throwStall("watchdog: no cell fired within the idle window");
+          result.note = "deadlock: outputs incomplete";
+        }
         break;
       }
     }
@@ -169,8 +214,11 @@ struct Engine : detail::EngineBase<Engine> {
   /// the rescan would use, so the two loops stay bit-identical.
   void runEventDriven() {
     const std::size_t n = eg.size();
-    const std::int64_t settle = settleWindow();
-    exec::ReadyQueue queue(n, wakeHorizon());
+    const std::int64_t window = idleWindow();
+    const std::int64_t floorTime = inj.quiesceFloor();
+    const std::int64_t cap = capCycles();
+    const std::int64_t hzn = wakeHorizon();
+    exec::ReadyQueue queue(n, hzn);
     rq = &queue;
     for (std::uint32_t c = 0; c < n; ++c) queue.wake(c, 0);
 
@@ -184,20 +232,25 @@ struct Engine : detail::EngineBase<Engine> {
     std::int64_t lastFire = -1;  // so the first quiescence break lands at
                                  // `settle`, like an all-idle rescan
     for (;;) {
-      const std::int64_t tQuiesce = lastFire + settle + 1;
+      const std::int64_t tQuiesce =
+          std::max(lastFire, floorTime) + window + 1;
       if (queue.empty() || queue.nextTime() > tQuiesce) {
         // Nothing can fire before the idle counter trips.
-        if (tQuiesce >= opts.maxCycles) {
-          now = opts.maxCycles;
+        if (tQuiesce >= cap) {
+          now = cap;
           break;
         }
         now = tQuiesce;
         result.completed = stop.quiescentOk();
-        if (!result.completed) result.note = "deadlock: outputs incomplete";
+        if (!result.completed) {
+          if (opts.watchdog > 0)
+            throwStall("watchdog: no cell fired within the idle window");
+          result.note = "deadlock: outputs incomplete";
+        }
         break;
       }
-      if (queue.nextTime() >= opts.maxCycles) {
-        now = opts.maxCycles;
+      if (queue.nextTime() >= cap) {
+        now = cap;
         break;
       }
       now = queue.pop(cand);
@@ -233,6 +286,13 @@ struct Engine : detail::EngineBase<Engine> {
       for (std::uint32_t id : cand) {
         if (!enabled(id)) continue;
         const dfg::FuClass fc = eg.cell(id).fu;
+        if (const std::int64_t until = inj.outageUntil(fc, now); until > now) {
+          // Denied by a transient outage: retry at its end (chained through
+          // the wheel horizon when the outage outlasts it).
+          probe.denied(id, now, until);
+          wake(id, std::min(until, now + hzn));
+          continue;
+        }
         if (fu.tryGrant(fc, now)) {
           toFire.push_back(id);
         } else {
@@ -286,6 +346,7 @@ MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
   if (opts.scheduler == SchedulerKind::ParallelEventDriven)
     return detail::simulateParallel(lowered, eg, cfg, inputs, opts);
   Engine engine(eg, cfg, inputs, opts);
+  engine.lowered = &lowered;
   const bool sync = opts.scheduler == SchedulerKind::Synchronous;
   if (opts.trace) opts.trace->begin(1, detail::traceMetaFor(lowered, opts));
   if (opts.metrics) opts.metrics->begin(1, eg.size());

@@ -39,15 +39,13 @@
 
 #include "dfg/graph.hpp"
 #include "exec/packet_counters.hpp"
+#include "fault/plan.hpp"
 #include "machine/config.hpp"
 #include "machine/placement.hpp"
 #include "run/io.hpp"
 #include "support/value.hpp"
 
 namespace valpipe::machine {
-
-/// Deprecated alias of run::StreamMap; slated for removal next release.
-using StreamMap [[deprecated("use run::StreamMap")]] = run::StreamMap;
 
 /// Packet traffic counters (§2's packet communication architecture).
 using PacketCounters = exec::PacketCounters;
@@ -91,6 +89,8 @@ struct MachineResult {
   std::array<std::uint64_t, 4> fuBusy{};
   /// Firings per processing element (when a Placement was supplied).
   std::vector<std::uint64_t> pePackets;
+  /// What the fault injector did (all zero without a fault::Plan).
+  fault::Counters faults;
 
   /// Results per instruction time over the whole run for `stream`.
   double overallRate(const std::string& stream) const;

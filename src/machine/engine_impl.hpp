@@ -35,6 +35,8 @@
 #include "exec/packet_counters.hpp"
 #include "exec/router.hpp"
 #include "exec/stop.hpp"
+#include "fault/injector.hpp"
+#include "guard/guard.hpp"
 #include "machine/engine.hpp"
 #include "obs/probe.hpp"
 #include "support/check.hpp"
@@ -82,13 +84,21 @@ struct EngineBase {
   /// when inert, keeping the no-sink fast path free.
   obs::LaneProbe probe;
 
+  /// This lane's fault injector and invariant guards; both follow the same
+  /// null-pointer zero-cost contract as `probe`.  A parallel shard reseeds
+  /// `inj` with its lane number; `grd` is bound by the derived engine when
+  /// the run carries a guard::Config.
+  fault::Injector inj;
+  guard::LaneGuard grd;
+
   EngineBase(const exec::ExecutableGraph& graph, const MachineConfig& config,
              const RunOptions& o)
       : eg(graph),
         cfg(config),
         opts(o),
         sourceData(graph.size(), nullptr),
-        stopSlotOf(graph.size(), -1) {}
+        stopSlotOf(graph.size(), -1),
+        inj(o.faults, 0) {}
 
   Derived& self() { return static_cast<Derived&>(*this); }
   const Derived& self() const { return static_cast<const Derived&>(*this); }
@@ -223,15 +233,25 @@ struct EngineBase {
     const exec::Operand& o = eg.operandAt(si);
     if (o.isLiteral()) return;
     exec::Slot& s = slots[si];
+    grd.onConsume(c, si, s.full, now);
     s.full = false;
-    s.freedAt = now + cfg.ackDelay;
     ++packets.ackPackets;
     consumedAny = true;
+    if (inj.dropAck()) {
+      // The acknowledge is lost in the network: the producer never sees the
+      // destination freed, so it blocks forever (the watchdog names it).
+      s.freedAt = fault::kLostPacket;
+      return;
+    }
+    s.freedAt = now + cfg.ackDelay;
     probe.ack(o.producer, c, now, s.freedAt);
     // The acknowledge frees the producer's destination: it may re-enable
     // from the instruction time the ack becomes visible.
     self().ackProducer(o.producer, si, s.freedAt,
                        std::max<std::int64_t>(s.freedAt, now + 1));
+    if (inj.dupAck())
+      self().ackProducer(o.producer, si, s.freedAt,
+                         std::max<std::int64_t>(s.freedAt, now + 1));
   }
 
   void deliver(exec::DestSpan ds, const Value& v, std::uint32_t from,
@@ -240,11 +260,20 @@ struct EngineBase {
     for (const exec::Dest& d : ds) {
       // Packets between cells in different PEs traverse the distribution
       // network (Fig. 1) and pay the extra hop.
-      const std::int64_t at =
-          arrive + router.extraDelay(from, d.consumer, packets);
+      std::int64_t at = arrive + router.extraDelay(from, d.consumer, packets) +
+                        inj.deliveryDelay();
       ++packets.resultPackets;
+      grd.onSend(from, d.slot, now);
+      // A dropped result still occupies the destination slot — the producer
+      // must stay blocked (one active instance) — but it never becomes
+      // ready, so the consumer starves and the watchdog can name it.
+      const bool lost = inj.dropResult();
+      if (lost) at = fault::kLostPacket;
+      const std::int64_t wakeAt =
+          lost ? now + 1 : std::max<std::int64_t>(at, now + 1);
       probe.result(from, d.consumer, now, at);
-      self().deliverOne(d, v, at, std::max<std::int64_t>(at, now + 1));
+      self().deliverOne(d, v, at, wakeAt);
+      if (inj.dupResult()) self().deliverOne(d, v, at, wakeAt);
     }
   }
 
@@ -252,6 +281,7 @@ struct EngineBase {
   void deliverLocal(const exec::Dest& d, const Value& v, std::int64_t at,
                     std::int64_t wakeAt) {
     exec::Slot& s = slots[d.slot];
+    grd.onDeliver(d.consumer, d.slot, s.full, at);
     VALPIPE_CHECK_MSG(!s.full, "result packet delivered into occupied slot");
     s.full = true;
     s.v = v;
@@ -315,7 +345,7 @@ struct EngineBase {
       router.noteFiring(c);
       const std::int64_t arrive =
           now + cfg.execLatency[static_cast<std::size_t>(cl.fu)] +
-          cfg.routeDelay;
+          cfg.routeDelay + inj.execJitter();
       deliver(eg.alwaysDests(cl), *out, c, arrive);
       if (gateVal) deliver(eg.taggedDests(cl, *gateVal), *out, c, arrive);
     }
@@ -327,19 +357,27 @@ struct EngineBase {
   }
 
   std::int64_t settleWindow() const {
+    // Injected delays stretch how long a packet can be legitimately in
+    // flight; the idle window must outlast them or a delayed packet would
+    // be declared deadlock.
     return exec::quiesceWindow(
-        cfg.routeDelay, cfg.ackDelay,
-        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()));
+               cfg.routeDelay, cfg.ackDelay,
+               *std::max_element(cfg.execLatency.begin(),
+                                 cfg.execLatency.end())) +
+           inj.maxExtraDelay();
   }
 
   /// Longest forward distance of any wake: a delivered packet's transit
   /// (execution + routing + the inter-PE hop), an acknowledge, or a
   /// function-unit release — a time wheel must span it without aliasing.
+  /// Injected delays widen it like settleWindow().
   std::int64_t wakeHorizon() const {
     return std::max<std::int64_t>(
-        std::max<std::int64_t>(1, cfg.ackDelay),
-        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()) +
-            cfg.routeDelay + cfg.interPeDelay);
+               std::max<std::int64_t>(1, cfg.ackDelay),
+               *std::max_element(cfg.execLatency.begin(),
+                                 cfg.execLatency.end()) +
+                   cfg.routeDelay + cfg.interPeDelay) +
+           inj.maxExtraDelay();
   }
 };
 

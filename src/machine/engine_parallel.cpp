@@ -47,6 +47,7 @@
 #include "exec/ready_queue.hpp"
 #include "exec/router.hpp"
 #include "exec/shard_plan.hpp"
+#include "guard/diagnosis.hpp"
 #include "machine/engine.hpp"
 #include "machine/engine_impl.hpp"
 #include "machine/placement.hpp"
@@ -130,6 +131,11 @@ struct Shared {
   std::vector<std::uint8_t> mirrorFull;   ///< producer-side dest mirrors
   std::vector<std::int64_t> mirrorFreed;
 
+  /// Shared per-arc guard counters (counter ownership follows the slot and
+  /// mirror ownership rules — see guard/guard.hpp); absent when guards are
+  /// off.
+  std::optional<guard::State> guardState;
+
   /// Expected outputs in StopCondition::slotFor order (std::map order).
   std::vector<std::string> expNames;
   std::vector<std::int64_t> expWant;
@@ -155,8 +161,11 @@ struct Shared {
   std::int64_t prevNow = -1;
   bool ranAny = false;  ///< at least one step processed (t = 0 comes first)
   std::int64_t settle = 0;
+  std::int64_t floorTime = 0;  ///< earliest quiescence (outage windows)
+  std::int64_t cap = 0;        ///< maxCycles tightened by maxInstructionTimes
   std::int64_t finalNow = 0;
   bool completed = false;
+  bool stalledDeadlock = false;  ///< quiesced with outputs incomplete
   std::string note;
 
   std::atomic<bool> abort{false};
@@ -182,6 +191,7 @@ struct Shared {
         fuWakeAt(graph.size(), 0),
         pubs(plan.shardCount),
         errors(plan.shardCount) {
+    if (o.guards) guardState.emplace(graph);
     for (const auto& [name, want] : opts.expectedOutputs) {
       expNames.push_back(name);
       expWant.push_back(want);
@@ -238,22 +248,27 @@ struct Shared {
       next = std::min(next, std::min(p.localNext, p.minSentWake));
       sent |= p.sentAny;
     }
-    const std::int64_t tQuiesce = lastFire + settle + 1;
+    const std::int64_t tQuiesce = std::max(lastFire, floorTime) + settle + 1;
     if (next == kNever || next > tQuiesce) {
       // Nothing can fire before the idle counter trips.
-      if (tQuiesce >= opts.maxCycles) {
-        finalNow = opts.maxCycles;
+      if (tQuiesce >= cap) {
+        finalNow = cap;
         cmd = Cmd::Stop;
         return;
       }
       finalNow = tQuiesce;
       completed = expWant.empty() || outputsDone();
-      if (!completed) note = "deadlock: outputs incomplete";
+      if (!completed) {
+        // Barrier completions must not throw; the main thread turns this
+        // into a run::StallError after the join when a watchdog is set.
+        stalledDeadlock = true;
+        note = "deadlock: outputs incomplete";
+      }
       cmd = Cmd::Stop;
       return;
     }
-    if (next >= opts.maxCycles) {
-      finalNow = opts.maxCycles;
+    if (next >= cap) {
+      finalNow = cap;
       cmd = Cmd::Stop;
       return;
     }
@@ -307,6 +322,7 @@ struct Worker : EngineBase<Worker> {
   std::vector<std::uint32_t> cand, ordered, toFire;
   std::vector<std::pair<std::uint32_t, bool>> pend;  ///< (cell, limited)
   std::vector<std::int64_t> candAt;
+  std::int64_t hzn = 0;  ///< wheel horizon, for clamping outage-end wakes
 
   Worker(Shared& s, std::uint32_t shard, const run::StreamMap& inputs)
       : EngineBase(s.eg, s.cfg, s.opts),
@@ -316,10 +332,17 @@ struct Worker : EngineBase<Worker> {
         fuLocal(std::array<int, 4>{0, 0, 0, 0}, s.cfg.execLatency),
         pub(s.pubs[shard]),
         have(s.haveByShard[shard]),
-        candAt(s.eg.size(), -1) {
+        candAt(s.eg.size(), -1),
+        hzn(wakeHorizon()) {
     slots = sh.slots.data();
     cellDyn = sh.cellDyn.data();
     firings = sh.firings.data();
+    // Each shard draws its randomized fault decisions from its own lane
+    // stream (the horizon used above only depends on the plan, not the
+    // lane, so reseeding after the wheel is built is safe).
+    inj = fault::Injector(opts.faults, me);
+    if (opts.guards)
+      grd = guard::LaneGuard(opts.guards, &*sh.guardState, &eg);
     // Bind this shard's streams (runs on the main thread, so input
     // validation errors throw before any worker is spawned).
     for (std::uint32_t c : myCells()) seedAm(c);
@@ -361,18 +384,25 @@ struct Worker : EngineBase<Worker> {
       return;
     }
     sh.mirrorFull[d.slot] = 1;
-    send(to, {Message::Kind::Result, d.consumer, d.slot, at, wakeAt, v});
+    // A skewed barrier shows the remote shard the packet late; one draw
+    // shifts arrival and wake together.
+    const std::int64_t skew = inj.barrierSkew();
+    send(to,
+         {Message::Kind::Result, d.consumer, d.slot, at + skew, wakeAt + skew,
+          v});
   }
 
   void ackProducer(std::uint32_t producer, std::uint32_t slot,
                    std::int64_t freedAt, std::int64_t wakeAt) {
     const std::uint32_t to = sh.plan.shardOf[producer];
     if (to == me) {
+      grd.onAck(producer, slot, now);
       wake(producer, wakeAt);
       return;
     }
-    send(to, {Message::Kind::Acknowledge, producer, slot, freedAt, wakeAt,
-              Value{}});
+    const std::int64_t skew = inj.barrierSkew();
+    send(to, {Message::Kind::Acknowledge, producer, slot, freedAt + skew,
+              wakeAt + skew, Value{}});
   }
 
   void onOutput(std::int32_t stopSlot) {
@@ -414,26 +444,35 @@ struct Worker : EngineBase<Worker> {
     for (std::uint32_t from = 0; from < sh.plan.shardCount; ++from) {
       if (from == me) continue;
       auto& box = sh.mail.box(from, me);
-      if (obs::MetricsSink* ms = probe.metrics(); ms && !box.pending().empty()) {
+      if (obs::MetricsSink* ms = probe.metrics(); ms && !box.empty()) {
         obs::LaneStats& l = ms->lane(me);
-        l.mailboxMessages += box.pending().size();
+        l.mailboxMessages += box.size();
         l.maxMailboxDepth =
-            std::max<std::uint64_t>(l.maxMailboxDepth, box.pending().size());
+            std::max<std::uint64_t>(l.maxMailboxDepth, box.size());
       }
-      for (const Message& m : box.pending()) {
+      const auto apply = [&](const Message& m) {
         if (m.kind == Message::Kind::Result) {
           Slot& s = slots[m.slot];
+          grd.onDeliver(m.cell, m.slot, s.full, m.time);
           VALPIPE_CHECK_MSG(!s.full,
                             "result packet delivered into occupied slot");
           s.full = true;
           s.v = m.v;
           s.readyAt = m.time;
         } else {
+          grd.onAck(m.cell, m.slot, t);
           sh.mirrorFull[m.slot] = 0;
           sh.mirrorFreed[m.slot] = m.time;
         }
         wake(m.cell, m.wakeAt);
-      }
+      };
+      // Reverse drain order is a pure timing fault: one batch only ever
+      // touches distinct slots (capacity-1 discipline), so its messages
+      // commute.
+      if (inj.mailboxReorder())
+        box.forEachReversed(apply);
+      else
+        box.forEach(apply);
       box.clear();
     }
   }
@@ -482,6 +521,13 @@ struct Worker : EngineBase<Worker> {
     for (std::uint32_t id : cand) {
       if (!enabled(id)) continue;
       const dfg::FuClass fc = eg.cell(id).fu;
+      if (const std::int64_t until = inj.outageUntil(fc, now); until > now) {
+        // Denied by a transient outage (a static decision every shard
+        // agrees on); retry at its end, chained through the wheel horizon.
+        probe.denied(id, now, until);
+        wake(id, std::min(until, now + hzn));
+        continue;
+      }
       if (sh.limitedClass[static_cast<std::size_t>(fc)]) {
         pend.emplace_back(id, true);
         sh.limitedCand[me].push_back(id);
@@ -595,6 +641,14 @@ MachineResult simulateParallel(const dfg::Graph& lowered,
   sh.settle = exec::quiesceWindow(
       cfg.routeDelay, cfg.ackDelay,
       *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()));
+  if (opts.faults) {
+    sh.settle += opts.faults->maxExtraDelay();
+    sh.floorTime = opts.faults->lastOutageEnd();
+  }
+  if (opts.watchdog > 0) sh.settle = std::max(sh.settle, opts.watchdog);
+  sh.cap = opts.maxInstructionTimes > 0
+               ? std::min(opts.maxInstructionTimes, opts.maxCycles)
+               : opts.maxCycles;
 
   // Workers are constructed (and their inputs validated) on the main
   // thread; the spawn provides the happens-before edge for the seeding.
@@ -622,6 +676,33 @@ MachineResult simulateParallel(const dfg::Graph& lowered,
   for (std::uint32_t s = 0; s < S; ++s)
     if (sh.errors[s]) std::rethrow_exception(sh.errors[s]);
 
+  // Stall escalation (after shard errors: a guard violation outranks the
+  // watchdog's symptom report).  Barrier completions cannot throw, so the
+  // deadlock/cap verdict is turned into the StallError here.
+  if (!sh.completed && !(sh.expWant.empty() || sh.outputsDone())) {
+    const bool capHit =
+        opts.maxInstructionTimes > 0 && sh.finalNow >= sh.cap;
+    const bool watchdogHit = opts.watchdog > 0 && sh.stalledDeadlock;
+    if (capHit || watchdogHit) {
+      fault::Counters injected;
+      for (const auto& w : workers) injected.add(w->inj.counters);
+      std::vector<guard::OutputProgress> progress;
+      for (std::size_t i = 0; i < sh.expNames.size(); ++i) {
+        std::int64_t have = 0;
+        for (const auto& hv : sh.haveByShard) have += hv[i];
+        progress.push_back({sh.expNames[i], sh.expWant[i], have});
+      }
+      throw run::StallError(
+          sh.finalNow,
+          guard::diagnoseStall(
+              watchdogHit
+                  ? "watchdog: no cell fired within the idle window"
+                  : "instruction-time cap reached with outputs incomplete",
+              &lowered, eg, sh.slots.data(), sh.cellDyn.data(), sh.finalNow,
+              progress, injected));
+    }
+  }
+
   // --- merge: shard lanes in shard order -----------------------------------
   MachineResult res;
   res.cycles = sh.finalNow;
@@ -635,6 +716,7 @@ MachineResult simulateParallel(const dfg::Graph& lowered,
     res.pePackets.assign(static_cast<std::size_t>(opts.placement->peCount), 0);
   for (const auto& w : workers) {
     res.totalFirings += w->totalFirings;
+    res.faults.add(w->inj.counters);
     res.packets.resultPackets += w->packets.resultPackets;
     res.packets.ackPackets += w->packets.ackPackets;
     res.packets.networkResultPackets += w->packets.networkResultPackets;

@@ -6,11 +6,15 @@
 // the event-driven scheduler reproduces its MachineResult bit-for-bit; and
 // (b) bench baseline — bench_engine_scaling reports the flattened engines'
 // speedup against it.  Do not optimize this file; its value is that it stays
-// the same.
+// the same.  (The fault-injection/guard/watchdog hooks below are the one
+// sanctioned addition: the resilience layer must cover every scheduler, the
+// oracle included, and each hook is a null test when the run carries no
+// plan or guard config.)
 #include <algorithm>
 #include <optional>
 
 #include "dfg/lower.hpp"
+#include "guard/diagnosis.hpp"
 #include "machine/engine.hpp"
 #include "machine/engine_impl.hpp"
 #include "support/check.hpp"
@@ -57,11 +61,24 @@ struct ReferenceEngine {
   /// schedule the flattened engines must reproduce is part of this file's
   /// oracle duty, and every call is a null test when off.
   obs::LaneProbe probe;
+  /// Fault injector and invariant guards, same zero-cost contract as probe.
+  fault::Injector inj;
+  guard::LaneGuard grd;
+  /// Flattened view used only to name arcs for guards and stall diagnosis
+  /// (cell i of the flattening is node i of `g`); built lazily.
+  std::optional<exec::ExecutableGraph> egv;
+  std::optional<guard::State> gst;
 
   ReferenceEngine(const Graph& graph, const MachineConfig& config,
                   const run::StreamMap& in, const RunOptions& o)
       : g(graph), cfg(config), wiring(graph), inputs(in), opts(o) {
     VALPIPE_CHECK_MSG(dfg::isLowered(g), "machine engine requires lowered graph");
+    inj = fault::Injector(opts.faults, 0);
+    if (opts.guards) {
+      egv.emplace(g);
+      gst.emplace(*egv);
+      grd = guard::LaneGuard(opts.guards, &*gst, &*egv);
+    }
     state.resize(g.size());
     result.firings.assign(g.size(), 0);
     for (NodeId id : g.ids()) {
@@ -188,6 +205,12 @@ struct ReferenceEngine {
     return destsFree(id, gateVal);
   }
 
+  /// Flat operand-slot index of (id, port) in the lazily built flattening;
+  /// only meaningful while guards are active (grd is inert otherwise).
+  std::uint32_t guardSlot(NodeId id, int port) const {
+    return egv ? egv->slotOf(egv->cell(id.index), port) : 0;
+  }
+
   void consume(NodeId id, int port) {
     const Node& n = g.node(id);
     Slot& s = port == dfg::kGatePort ? state[id.index].gate
@@ -195,10 +218,20 @@ struct ReferenceEngine {
     const dfg::PortSrc& src =
         port == dfg::kGatePort ? *n.gate : n.inputs[port];
     if (src.isLiteral()) return;
+    grd.onConsume(id.index, guardSlot(id, port), s.full, now);
     s.full = false;
-    s.freedAt = now + cfg.ackDelay;
     ++result.packets.ackPackets;
+    if (inj.dropAck()) {
+      // The acknowledge is lost: the producer never sees the slot freed.
+      s.freedAt = fault::kLostPacket;
+      return;
+    }
+    s.freedAt = now + cfg.ackDelay;
     probe.ack(src.producer.index, id.index, now, s.freedAt);
+    grd.onAck(src.producer.index, guardSlot(id, port), now);
+    // Acks are instantaneous freedAt stamps here, so a duplicated ack has
+    // no physical effect — but the guards still see (and flag) it.
+    if (inj.dupAck()) grd.onAck(src.producer.index, guardSlot(id, port), now);
   }
 
   /// Phase B: applies the firing of `id` at time `now`.
@@ -267,13 +300,11 @@ struct ReferenceEngine {
     if (!out.has_value()) return;
     if (opts.placement)
       ++result.pePackets[static_cast<std::size_t>(opts.placement->of(id))];
-    const std::int64_t arrive = now + cfg.latencyOf(n.op) + cfg.routeDelay;
+    const std::int64_t arrive =
+        now + cfg.latencyOf(n.op) + cfg.routeDelay + inj.execJitter();
     for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
       Slot& s = d.port == dfg::kGatePort ? state[d.consumer.index].gate
                                          : state[d.consumer.index].ports[d.port];
-      VALPIPE_CHECK_MSG(!s.full, "result packet delivered into occupied slot");
-      s.full = true;
-      s.v = *out;
       // Packets between cells in different PEs traverse the distribution
       // network (Fig. 1) and pay the extra hop.
       std::int64_t at = arrive;
@@ -282,8 +313,22 @@ struct ReferenceEngine {
         at += cfg.interPeDelay;
         ++result.packets.networkResultPackets;
       }
-      s.readyAt = at;
+      at += inj.deliveryDelay();
       ++result.packets.resultPackets;
+      const std::uint32_t gslot = guardSlot(d.consumer, d.port);
+      grd.onSend(id.index, gslot, now);
+      // A dropped result still occupies the slot (the producer must stay
+      // blocked) but never becomes ready; see EngineBase::deliver.
+      if (inj.dropResult()) at = fault::kLostPacket;
+      const int copies = inj.dupResult() ? 2 : 1;
+      for (int k = 0; k < copies; ++k) {
+        grd.onDeliver(d.consumer.index, gslot, s.full, at);
+        VALPIPE_CHECK_MSG(!s.full,
+                          "result packet delivered into occupied slot");
+        s.full = true;
+        s.v = *out;
+        s.readyAt = at;
+      }
       probe.result(id.index, d.consumer.index, now, at);
     }
   }
@@ -324,17 +369,61 @@ struct ReferenceEngine {
     return true;
   }
 
+  /// Flattens the pointer-walking state into the shared exec form and
+  /// throws the diagnosed StallError (cold path).
+  [[noreturn]] void throwStall(const char* why) {
+    if (!egv) egv.emplace(g);
+    std::vector<exec::Slot> flat(egv->slotCount());
+    std::vector<exec::CellDyn> dyn(g.size());
+    const auto put = [&](const Slot& s, std::uint32_t slot) {
+      flat[slot].full = s.full;
+      flat[slot].v = s.v;
+      flat[slot].readyAt = s.readyAt;
+      flat[slot].freedAt = s.freedAt;
+    };
+    for (NodeId id : g.ids()) {
+      const exec::Cell& c = egv->cell(id.index);
+      const CellState& cs = state[id.index];
+      for (std::size_t p = 0; p < cs.ports.size(); ++p)
+        put(cs.ports[p], egv->slotOf(c, static_cast<int>(p)));
+      if (g.node(id).gate) put(cs.gate, egv->slotOf(c, dfg::kGatePort));
+      dyn[id.index].emitted = cs.emitted;
+      dyn[id.index].busyUntil = cs.busyUntil;
+    }
+    std::vector<guard::OutputProgress> progress;
+    for (const auto& [name, want] : opts.expectedOutputs) {
+      auto it = result.outputs.find(name);
+      progress.push_back(
+          {name, want,
+           it == result.outputs.end()
+               ? 0
+               : static_cast<std::int64_t>(it->second.size())});
+    }
+    throw run::StallError(
+        now, guard::diagnoseStall(why, &g, *egv, flat.data(), dyn.data(), now,
+                                  progress, inj.counters));
+  }
+
   void run() {
     const std::size_t n = g.size();
     std::vector<NodeId> toFire;
     toFire.reserve(n);
-    // Quiescence: nothing fired for longer than any in-flight delay can span.
-    const std::int64_t settle =
+    // Quiescence: nothing fired for longer than any in-flight delay can
+    // span — injected delays included; the caller's watchdog may lengthen
+    // the window further.
+    std::int64_t settle =
         2 + cfg.routeDelay + cfg.ackDelay +
-        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end());
+        *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()) +
+        inj.maxExtraDelay();
+    if (opts.watchdog > 0) settle = std::max(settle, opts.watchdog);
+    const std::int64_t floorTime = inj.quiesceFloor();
+    const std::int64_t cap = opts.maxInstructionTimes > 0
+                                 ? std::min(opts.maxInstructionTimes,
+                                            opts.maxCycles)
+                                 : opts.maxCycles;
     std::int64_t idle = 0;
 
-    for (now = 0; now < opts.maxCycles; ++now) {
+    for (now = 0; now < cap; ++now) {
       // Phase A: enabling decisions against start-of-cycle state, with
       // rotating priority for fairness under FU contention.
       toFire.clear();
@@ -342,6 +431,12 @@ struct ReferenceEngine {
       for (std::size_t k = 0; k < n; ++k) {
         const NodeId id{static_cast<std::uint32_t>((start + k) % n)};
         if (!enabled(id)) continue;
+        if (const std::int64_t until =
+                inj.outageUntil(dfg::fuClass(g.node(id).op), now);
+            until > now) {
+          probe.denied(id.index, now, until);
+          continue;
+        }
         if (!grantUnit(g.node(id).op)) {
           probe.denied(id.index, now, unitNextFree(g.node(id).op));
           continue;
@@ -357,13 +452,21 @@ struct ReferenceEngine {
         break;
       }
       idle = toFire.empty() ? idle + 1 : 0;
-      if (idle > settle) {
+      if (idle > settle && now >= floorTime) {
         result.completed = opts.expectedOutputs.empty() || outputsComplete();
-        if (!result.completed) result.note = "deadlock: outputs incomplete";
+        if (!result.completed) {
+          if (opts.watchdog > 0)
+            throwStall("watchdog: no cell fired within the idle window");
+          result.note = "deadlock: outputs incomplete";
+        }
         break;
       }
     }
+    if (!result.completed && opts.maxInstructionTimes > 0 && now >= cap &&
+        !opts.expectedOutputs.empty())
+      throwStall("instruction-time cap reached with outputs incomplete");
     if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
+    result.faults = inj.counters;
     result.cycles = now;
   }
 };

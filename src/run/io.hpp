@@ -4,13 +4,12 @@
 // simulator (machine::simulate) accept the same input/output currency: named
 // scalar streams, pre-loaded array-memory regions, a wave count, and runaway
 // guards.  Both engines' option structs build on this header so callers can
-// prepare one set of streams/options and hand it to either engine.  The old
-// per-engine aliases (sim::StreamMap, machine::StreamMap, sim::RunOptions)
-// are [[deprecated]] and slated for removal next release.
+// prepare one set of streams/options and hand it to either engine.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +19,14 @@ namespace valpipe::obs {
 class TraceSink;
 class MetricsSink;
 }  // namespace valpipe::obs
+
+namespace valpipe::fault {
+struct Plan;
+}
+
+namespace valpipe::guard {
+struct Config;
+}
 
 namespace valpipe::run {
 
@@ -41,11 +48,46 @@ struct RunOptions {
   /// Runaway guard of the timed simulator, in instruction times.
   std::int64_t maxCycles = 100'000'000;
 
+  /// Hard cap on the run length, in instruction times (firings for the
+  /// untimed interpreter).  Unlike maxFirings/maxCycles — which end the run
+  /// quietly with whatever completed — reaching this cap with outputs still
+  /// incomplete throws run::StallError carrying a diagnosis.  0 = off.
+  std::int64_t maxInstructionTimes = 0;
+
+  /// Stall watchdog of the timed engines: if no cell fires for this many
+  /// instruction times while outputs are incomplete, abort with a
+  /// run::StallError diagnosing which cells wait on what.  0 = off.
+  std::int64_t watchdog = 0;
+
+  /// Deterministic fault-injection plan (src/fault/), honored by the timed
+  /// machine engines.  Non-owning; null means off at zero cost.
+  const fault::Plan* faults = nullptr;
+
+  /// Runtime invariant guards (src/guard/), honored by the timed machine
+  /// engines.  Non-owning; null means off at zero cost.
+  const guard::Config* guards = nullptr;
+
   /// Observability sinks (src/obs/), honored by the timed machine engines
   /// and ignored by the untimed interpreter (it has no instruction-time
   /// axis).  Non-owning; null means off, and off costs nothing measurable.
   obs::TraceSink* trace = nullptr;      ///< firing-level event capture
   obs::MetricsSink* metrics = nullptr;  ///< firing counts / gaps / occupancy
+};
+
+/// Thrown when a run can make no further progress — the watchdog saw an
+/// idle window, or the maxInstructionTimes cap was hit, with outputs still
+/// incomplete.  what() carries the full diagnosis (guard::diagnoseStall).
+class StallError : public std::runtime_error {
+ public:
+  StallError(std::int64_t at, const std::string& diagnosis)
+      : std::runtime_error(diagnosis), at_(at) {}
+
+  /// Instruction time (firing count for the untimed interpreter) at which
+  /// the stall was declared.
+  std::int64_t at() const { return at_; }
+
+ private:
+  std::int64_t at_;
 };
 
 }  // namespace valpipe::run

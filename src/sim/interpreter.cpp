@@ -182,6 +182,16 @@ struct Engine {
       queued[id] = 0;
       while (canFire(id)) {
         ++result.firings;
+        // Firings are the untimed interpreter's only clock, so the shared
+        // maxInstructionTimes cap counts them.
+        if (opts.maxInstructionTimes > 0 &&
+            result.firings >
+                static_cast<std::uint64_t>(opts.maxInstructionTimes))
+          throw run::StallError(
+              static_cast<std::int64_t>(result.firings),
+              "instruction-time cap reached: the interpreter exceeded " +
+                  std::to_string(opts.maxInstructionTimes) +
+                  " firings without quiescing (livelock or runaway source)");
         if (result.firings > opts.maxFirings) {
           result.note = "maxFirings exceeded (livelock?)";
           return;

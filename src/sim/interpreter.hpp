@@ -19,14 +19,6 @@
 
 namespace valpipe::sim {
 
-/// Deprecated alias of run::StreamMap; slated for removal next release.
-using StreamMap [[deprecated("use run::StreamMap")]] = run::StreamMap;
-
-/// The interpreter consumes the shared run vocabulary directly (waves,
-/// amInitial, maxFirings).  Deprecated alias of run::RunOptions; slated for
-/// removal next release.
-using RunOptions [[deprecated("use run::RunOptions")]] = run::RunOptions;
-
 struct RunResult {
   run::StreamMap outputs;              ///< collected Output streams
   run::StreamMap amFinal;              ///< array-memory contents after the run

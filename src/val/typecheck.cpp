@@ -54,6 +54,12 @@ struct IndexCtx {
   }
 };
 
+/// Largest index-sweep extent the element-wise range checker will walk.
+/// The active-set check is O(extent) per array access; past this limit the
+/// block is rejected with a diagnostic instead of grinding (or exhausting
+/// memory) on an absurd manifest range.
+constexpr std::int64_t kMaxCheckedExtent = std::int64_t(1) << 22;
+
 class Checker {
  public:
   Checker(Module& m, Diagnostics& diags) : m_(m), diags_(diags) {}
@@ -409,8 +415,18 @@ class Checker {
     const auto lo = constEvalInt(fb.lo, m_.consts);
     const auto hi = constEvalInt(fb.hi, m_.consts);
     VALPIPE_CHECK(lo && hi);  // parser folds these
-    if (*lo > *hi) error(fb.loc, "empty forall index range");
+    if (*lo > *hi) {
+      error(fb.loc, "empty forall index range");
+      return;  // a negative extent must not reach the active-set sweep
+    }
     const Range range{*lo, *hi};
+    if (range.length() > kMaxCheckedExtent) {
+      error(fb.loc, "forall index range " + range.str() + " (" +
+                        std::to_string(range.length()) +
+                        " elements) exceeds the checkable limit of " +
+                        std::to_string(kMaxCheckedExtent));
+      return;
+    }
 
     IndexCtx ctx;
     std::vector<Scope> scopes(1);
@@ -419,8 +435,19 @@ class Checker {
       const auto lo2 = constEvalInt(fb.lo2, m_.consts);
       const auto hi2 = constEvalInt(fb.hi2, m_.consts);
       VALPIPE_CHECK(lo2 && hi2);
-      if (*lo2 > *hi2) error(fb.loc, "empty forall column range");
-      resolveRange(b, range, Range{*lo2, *hi2});
+      if (*lo2 > *hi2) {
+        error(fb.loc, "empty forall column range");
+        return;
+      }
+      const Range col{*lo2, *hi2};
+      if (col.length() > kMaxCheckedExtent ||
+          range.length() > kMaxCheckedExtent / col.length()) {
+        error(fb.loc, "2-D forall index space " + range.str() + " x " +
+                          col.str() + " exceeds the checkable limit of " +
+                          std::to_string(kMaxCheckedExtent) + " elements");
+        return;
+      }
+      resolveRange(b, range, col);
       ctx = IndexCtx::full2(fb.indexVar, range, fb.indexVar2,
                             Range{*lo2, *hi2});
       scopes.back()[fb.indexVar2] = Type::integer();
@@ -451,8 +478,19 @@ class Checker {
                         " < q' or '<= q' with manifest q");
       fi.lastIndex = *p;  // keep checking with a placeholder
     }
-    const std::int64_t q = *fi.lastIndex;
-    if (q < *p) error(fi.loc, "for-iter performs no iterations");
+    std::int64_t q = *fi.lastIndex;
+    if (q < *p) {
+      error(fi.loc, "for-iter performs no iterations");
+      q = *p;  // keep checking with a one-iteration placeholder
+    }
+    if (q - *p + 1 > kMaxCheckedExtent) {
+      error(fi.loc, "for-iter sweep [" + std::to_string(*p) + ", " +
+                        std::to_string(q) + "] (" +
+                        std::to_string(q - *p + 1) +
+                        " iterations) exceeds the checkable limit of " +
+                        std::to_string(kMaxCheckedExtent));
+      q = *p;
+    }
     const Range range{*r, q};
     resolveRange(b, range);
 

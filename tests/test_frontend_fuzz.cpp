@@ -1,0 +1,153 @@
+// Frontend robustness fuzzing: truncated and mutated Val programs must flow
+// through val::parseModule / val::typecheck producing structured diagnostics
+// — never a crash, an uncaught exception, or an empty error report.  The
+// suite is deterministic (seeded mutations) so a failure reproduces; run it
+// under the ASan preset (ctest -L fault) to catch out-of-bounds reads the
+// happy path never exercises.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "generators.hpp"
+#include "support/diagnostics.hpp"
+#include "testing.hpp"
+#include "val/parser.hpp"
+#include "val/typecheck.hpp"
+
+namespace valpipe {
+namespace {
+
+/// Base corpus: the paper's examples plus generated random programs.
+std::vector<std::string> corpus() {
+  std::vector<std::string> srcs = {
+      testing::example1Source(8),
+      testing::example2Source(6),
+      testing::figure3Source(8),
+  };
+  for (int p = 0; p < 4; ++p) {
+    testing::GenOptions gopts;
+    gopts.blocks = 1 + p % 3;
+    testing::ProgramGen gen(static_cast<unsigned>(p) * 977 + 3, gopts);
+    srcs.push_back(gen.module());
+  }
+  return srcs;
+}
+
+/// Feeds one source through the whole frontend; the only acceptable endings
+/// are a clean parse+check or structured diagnostics.
+void mustNotCrash(const std::string& src, const std::string& what) {
+  Diagnostics diags;
+  val::Module mod = val::parseModule(src, diags);
+  if (diags.hasErrors()) {
+    // Structured report: at least one error with a message; str() is the
+    // user-facing rendering and must compose without throwing.
+    EXPECT_GE(diags.errorCount(), 1u) << what;
+    EXPECT_FALSE(diags.all().empty()) << what;
+    for (const Diagnostic& d : diags.all())
+      EXPECT_FALSE(d.message.empty()) << what;
+    EXPECT_FALSE(diags.str().empty()) << what;
+    return;  // a partial module is not a typecheck input
+  }
+  Diagnostics tdiags;
+  val::typecheck(mod, tdiags);
+  if (tdiags.hasErrors()) {
+    EXPECT_FALSE(tdiags.str().empty()) << what;
+    for (const Diagnostic& d : tdiags.all())
+      EXPECT_FALSE(d.message.empty()) << what;
+  }
+}
+
+TEST(FrontendFuzz, EveryTruncationParsesOrDiagnoses) {
+  for (const std::string& src : corpus()) {
+    // Every prefix, including the empty program and mid-token cuts.
+    for (std::size_t len = 0; len <= src.size(); ++len)
+      mustNotCrash(src.substr(0, len),
+                   "truncation at " + std::to_string(len) + " of:\n" + src);
+  }
+}
+
+TEST(FrontendFuzz, EverySuffixParsesOrDiagnoses) {
+  // Suffixes start mid-construct: the parser sees orphaned keywords and
+  // unbalanced enders immediately.
+  for (const std::string& src : corpus())
+    for (std::size_t cut = 0; cut < src.size(); cut += 7)
+      mustNotCrash(src.substr(cut),
+                   "suffix from " + std::to_string(cut) + " of:\n" + src);
+}
+
+TEST(FrontendFuzz, RandomCharacterMutationsNeverCrash) {
+  std::mt19937 rng(20260807);
+  const char charset[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789+-*/=<>~|&;:,.[](){}'\"%$#@!_ \t\n";
+  for (const std::string& src : corpus()) {
+    for (int round = 0; round < 200; ++round) {
+      std::string s = src;
+      // 1-4 point mutations: substitute, delete, or insert.
+      const int edits = 1 + static_cast<int>(rng() % 4);
+      for (int e = 0; e < edits && !s.empty(); ++e) {
+        const std::size_t pos = rng() % s.size();
+        const char c = charset[rng() % (sizeof(charset) - 1)];
+        switch (rng() % 3) {
+          case 0: s[pos] = c; break;
+          case 1: s.erase(pos, 1); break;
+          default: s.insert(pos, 1, c); break;
+        }
+      }
+      mustNotCrash(s, "mutation round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(FrontendFuzz, KeywordSwapsNeverCrash) {
+  // Token-level damage: swap structural keywords for each other so the
+  // parser's recovery paths (not just its lexer) get exercised.
+  const std::vector<std::string> keywords = {
+      "function", "endfun",  "forall", "endall",    "for",   "endfor",
+      "if",       "then",    "else",   "endif",     "let",   "in",
+      "endlet",   "iter",    "enditer","construct", "do",    "returns",
+      "array",    "integer", "real",   "const",
+  };
+  std::mt19937 rng(97);
+  for (const std::string& src : corpus()) {
+    for (int round = 0; round < 60; ++round) {
+      std::string s = src;
+      const std::string& from = keywords[rng() % keywords.size()];
+      const std::string& to = keywords[rng() % keywords.size()];
+      const std::size_t at = s.find(from);
+      if (at == std::string::npos) continue;
+      s.replace(at, from.size(), to);
+      mustNotCrash(s, "swap '" + from + "' -> '" + to + "'");
+    }
+  }
+}
+
+TEST(FrontendFuzz, HostileInputsGetDiagnosticsNotCrashes) {
+  const std::vector<std::string> hostile = {
+      "",
+      "\n\n\n",
+      "%% only a comment",
+      "function",
+      "function f(",
+      "function f( returns real) 1 endfun endfun endfun",
+      "const m = \nfunction f(A: array[real] [1, m] returns real) A[1] endfun",
+      "const m = 99999999999999999999999999\nfunction f(A: array[real] "
+      "[1, m] returns real) A[1] endfun",
+      "function f(A: array[real] [1, 4] returns array[real])\n"
+      "  forall i in [1, 4] construct A[i+i+i+i+i+i+i+i+i+i+i+i] endall\n"
+      "endfun",
+      std::string(10000, '('),
+      std::string(10000, 'x'),
+      "function f(A: array[real] [1, 1000000000000] returns array[real])\n"
+      "  forall i in [1, 1000000000000] construct A[i] endall\nendfun",
+  };
+  for (const std::string& s : hostile)
+    mustNotCrash(s, "hostile input: " + s.substr(0, 40));
+  // The throwing convenience entry must throw CompileError, nothing else.
+  EXPECT_THROW(val::parseModuleOrThrow("function f("), CompileError);
+}
+
+}  // namespace
+}  // namespace valpipe

@@ -148,6 +148,8 @@ inline void checkInterpreted(const core::CompiledProgram& prog,
                              double tol = 0.0, int waves = 1) {
   run::RunOptions opts;
   opts.waves = waves;
+  // A livelocked graph should abort with a StallError, not spin forever.
+  opts.maxInstructionTimes = 5'000'000;
   const sim::RunResult res =
       sim::interpret(prog.graph, inputsFor(prog, inputs), opts);
   EXPECT_TRUE(res.quiescent) << res.note;
@@ -170,6 +172,8 @@ inline machine::MachineResult checkMachine(
                            : dfg::expandFifos(prog.graph);
   machine::RunOptions opts;
   opts.waves = waves;
+  // A livelocked graph should abort with a StallError, not spin forever.
+  opts.maxInstructionTimes = 2'000'000;
   opts.expectedOutputs[prog.outputName] =
       prog.expectedOutputPerWave() * waves;
   const machine::MachineResult res = machine::simulate(
