@@ -1,0 +1,213 @@
+// P5 — FIFO fusion: composite ring-buffer cells vs expanded Id chains.
+//
+// The optimizer (opt::fuseFifos) collapses each buffering chain into one
+// O(1) cell fired with the chain's exact external timing, so a depth-k FIFO
+// costs one result + one acknowledge packet per token instead of k of each.
+// This bench sweeps the two lowerings over the workloads where chains
+// dominate — the §9 long-FIFO recurrence (bench_claim_longfifo's shape) and
+// the Fig. 6 smoothing forall — on the event-driven scheduler, asserting
+// bit-identical outputs and reporting the wall-clock speedup.  The headline
+// acceptance: >= 1.5x throughput on the deep recurrence at m = 4096.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "opt/fuse.hpp"
+
+namespace {
+
+using namespace valpipe;
+
+/// The 4-operator recurrence of bench_claim_longfifo; under the LongFifo
+/// scheme its feedback cycle is padded with a deep FIFO (2B stages for B
+/// interleaved instances).
+std::string deepRecurrence(std::int64_t m) {
+  return "const m = " + std::to_string(m) + "\n" + R"(
+function deep(A, B: array[real] [1, m] returns array[real])
+  for i : integer := 1; T : array[real] := [0: 0.2]
+  do let P : real := (T[i-1] * A[i] + B[i]) * 0.5
+     in if i < m + 1 then iter T := T[i: P]; i := i + 1 enditer
+        else T endif
+     endlet
+  endfor
+endfun
+)";
+}
+
+/// The Fig. 6 boundary-guarded smoothing forall: its selection skews are
+/// realized as (shallow) balancing FIFOs.
+std::string smoothForall(std::int64_t m) {
+  return "const m = " + std::to_string(m) + "\n" + R"(
+function f6(B, C: array[real] [0, m+1] returns array[real])
+  forall i in [0, m+1]
+    P : real := if (i = 0) | (i = m+1) then C[i]
+                else 0.25 * (C[i-1] + 2.*C[i] + C[i+1]) endif;
+  construct B[i] * (P * P)
+  endall
+endfun
+)";
+}
+
+struct Meas {
+  double ms = 0.0;
+  machine::MachineResult res;
+};
+
+/// One timed event-driven run of an already-lowered graph (deliberately not
+/// bench::measureRate, which would re-expand any graph carrying Fifo nodes).
+Meas timedRun(const dfg::Graph& lowered, const core::CompiledProgram& prog,
+              const run::StreamMap& in, int reps = 3) {
+  machine::RunOptions opts;
+  opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  Meas best;
+  best.ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    machine::MachineResult res =
+        machine::simulate(lowered, machine::MachineConfig::unit(), in, opts);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (ms < best.ms) {
+      best.ms = ms;
+      best.res = std::move(res);
+    }
+  }
+  return best;
+}
+
+struct Row {
+  std::string workload;
+  std::int64_t m = 0;
+  std::size_t cellsExpanded = 0;
+  std::size_t cellsFused = 0;
+  std::size_t chains = 0;
+  std::size_t absorbed = 0;
+  double msExpanded = 0.0;
+  double msFused = 0.0;
+  double speedup = 0.0;
+  std::uint64_t packetsExpanded = 0;  ///< result + ack packets
+  std::uint64_t packetsFused = 0;
+  bool identical = false;
+};
+
+Row sweep(const std::string& workload, const std::string& src,
+          std::int64_t m, const core::CompileOptions& copts) {
+  const auto prog = core::compileSource(src, copts);
+  const auto in = bench::randomInputs(prog, 71, -0.8, 0.8);
+  const dfg::Graph expanded = dfg::expandFifos(prog.graph);
+  opt::FusionStats fs;
+  const dfg::Graph fused = opt::fuseFifos(prog.graph, &fs);
+
+  const Meas e = timedRun(expanded, prog, in);
+  const Meas f = timedRun(fused, prog, in);
+
+  Row row;
+  row.workload = workload;
+  row.m = m;
+  row.cellsExpanded = expanded.size();
+  row.cellsFused = fused.size();
+  row.chains = fs.chainsFused;
+  row.absorbed = fs.cellsAbsorbed;
+  row.msExpanded = e.ms;
+  row.msFused = f.ms;
+  row.speedup = f.ms > 0.0 ? e.ms / f.ms : 0.0;
+  row.packetsExpanded =
+      e.res.packets.resultPackets + e.res.packets.ackPackets;
+  row.packetsFused = f.res.packets.resultPackets + f.res.packets.ackPackets;
+  row.identical = e.res.completed && f.res.completed &&
+                  f.res.outputs == e.res.outputs &&
+                  f.res.outputTimes == e.res.outputTimes;
+  return row;
+}
+
+core::CompileOptions recurrenceOpts() {
+  core::CompileOptions o;
+  o.forIterScheme = core::ForIterScheme::LongFifo;
+  o.interleave = 64;  // 128-stage cycle: one deep FIFO dominates the graph
+  return o;
+}
+
+void BM_DeepRecurrence(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const bool fuse = state.range(1) != 0;
+  const auto prog = core::compileSource(deepRecurrence(m), recurrenceOpts());
+  const auto in = bench::randomInputs(prog, 71, -0.8, 0.8);
+  const dfg::Graph lowered =
+      fuse ? opt::fuseFifos(prog.graph) : dfg::expandFifos(prog.graph);
+  machine::RunOptions opts;
+  opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  for (auto _ : state) {
+    auto res = machine::simulate(lowered, machine::MachineConfig::unit(), in,
+                                 opts);
+    benchmark::DoNotOptimize(res.cycles);
+  }
+}
+BENCHMARK(BM_DeepRecurrence)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->ArgNames({"m", "fused"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace valpipe;
+  bench::banner(
+      "P5 — FIFO fusion",
+      "composite ring-buffer FIFO cells vs expanded Id chains "
+      "(event-driven scheduler, unit profile)",
+      "identical outputs and output times; >= 1.5x throughput on the deep "
+      "recurrence at m = 4096");
+
+  bench::BenchJson json("fifo_fusion");
+  TextTable table({"workload", "m", "cells exp", "cells fused", "packets exp",
+                   "packets fused", "ms exp", "ms fused", "speedup",
+                   "identical"});
+  double headline = 0.0;
+  bool allIdentical = true;
+  for (const std::int64_t m : {64, 256, 1024, 4096}) {
+    for (int w = 0; w < 2; ++w) {
+      const bool rec = w == 0;
+      const Row row =
+          rec ? sweep("deep-recurrence", deepRecurrence(m), m,
+                      recurrenceOpts())
+              : sweep("smooth-forall", smoothForall(m), m,
+                      core::CompileOptions{});
+      table.addRow({row.workload, std::to_string(row.m),
+                    std::to_string(row.cellsExpanded),
+                    std::to_string(row.cellsFused),
+                    std::to_string(row.packetsExpanded),
+                    std::to_string(row.packetsFused),
+                    fmtDouble(row.msExpanded, 2), fmtDouble(row.msFused, 2),
+                    fmtDouble(row.speedup, 2), row.identical ? "yes" : "NO"});
+      bench::JsonObj o;
+      o.add("workload", row.workload)
+          .add("m", row.m)
+          .add("cells_expanded", static_cast<std::int64_t>(row.cellsExpanded))
+          .add("cells_fused", static_cast<std::int64_t>(row.cellsFused))
+          .add("chains_fused", static_cast<std::int64_t>(row.chains))
+          .add("cells_absorbed", static_cast<std::int64_t>(row.absorbed))
+          .add("packets_expanded", row.packetsExpanded)
+          .add("packets_fused", row.packetsFused)
+          .add("ms_expanded", row.msExpanded)
+          .add("ms_fused", row.msFused)
+          .add("speedup", row.speedup)
+          .add("identical", row.identical);
+      json.addRow(o);
+      allIdentical = allIdentical && row.identical;
+      if (rec && m == 4096) headline = row.speedup;
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const bool pass = allIdentical && headline >= 1.5;
+  json.meta("speedup_at_m4096", headline);
+  json.meta("all_identical", allIdentical);
+  json.meta("pass", pass);
+  json.write();
+  std::printf("deep recurrence @ m=4096: %.2fx %s (bound 1.5x); outputs %s\n",
+              headline, pass ? "PASS" : "FAIL",
+              allIdentical ? "bit-identical" : "MISMATCH");
+  if (!pass) return 1;
+  return bench::runTimings(argc, argv);
+}

@@ -7,6 +7,10 @@
 //     --skip K                                companion dependence distance
 //     --batch B                               long-FIFO interleave factor
 //     --routing stream|memory                 inter-block array routing
+//     -O                                      fuse FIFO chains into composite
+//                                             ring-buffer cells (default)
+//     --no-fuse                               expand FIFOs into Id chains
+//                                             (truthful per-cell statistics)
 //     --lower-control                         counter loops for control seqs
 //     --dot                                   print Graphviz to stdout
 //     --run [waves]                           simulate with ramp inputs
@@ -39,6 +43,7 @@
 #include "obs/metrics.hpp"
 #include "obs/rate_report.hpp"
 #include "obs/trace.hpp"
+#include "opt/fuse.hpp"
 #include "val/classify.hpp"
 
 namespace {
@@ -46,9 +51,9 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: valc [--scheme S] [--forall F] [--balance B] [--skip K]"
-               " [--batch N] [--routing R] [--dot] [--run [waves]]"
-               " [--classify] [--profile] [--trace FILE] [--faults SPEC]"
-               " [--guards] [--watchdog N] file.val\n");
+               " [--batch N] [--routing R] [-O | --no-fuse] [--dot]"
+               " [--run [waves]] [--classify] [--profile] [--trace FILE]"
+               " [--faults SPEC] [--guards] [--watchdog N] file.val\n");
   std::exit(2);
 }
 
@@ -57,6 +62,7 @@ namespace {
 int main(int argc, char** argv) {
   using namespace valpipe;
   core::CompileOptions opts;
+  bool fuse = true;  // -O / --no-fuse: how FIFOs are lowered before a run
   bool dot = false, classifyOnly = false, profile = false, guards = false;
   int runWaves = 0;
   std::int64_t watchdog = 0;
@@ -95,6 +101,10 @@ int main(int argc, char** argv) {
       const std::string s = next();
       opts.routing = s == "memory" ? core::ArrayRouting::Memory
                                    : core::ArrayRouting::Stream;
+    } else if (arg == "-O") {
+      fuse = true;
+    } else if (arg == "--no-fuse") {
+      fuse = false;
     } else if (arg == "--lower-control") {
       opts.lowerControl = true;
     } else if (arg == "--dot") {
@@ -194,7 +204,18 @@ int main(int argc, char** argv) {
           v.push_back(Value(0.01 * static_cast<double>(k % 97)));
         streams[name] = std::move(v);
       }
-      const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+      opt::FusionStats fstats;
+      const dfg::Graph lowered = fuse ? opt::fuseFifos(prog.graph, &fstats)
+                                      : dfg::expandFifos(prog.graph);
+      if (profile) {
+        std::printf("  lowered (%s): %s\n", fuse ? "fused" : "expanded",
+                    dfg::computeStats(lowered).str().c_str());
+        if (fuse)
+          std::printf("  fusion: %zu chains fused, %zu cells absorbed"
+                      " (%zu -> %zu nodes)\n",
+                      fstats.chainsFused, fstats.cellsAbsorbed,
+                      fstats.nodesBefore, fstats.nodesAfter);
+      }
       obs::MetricsSink metrics;
       obs::TraceSink trace;
       machine::RunOptions ropts;

@@ -58,9 +58,15 @@ struct CompileOptions {
   /// (Todd's construction).  The resulting counters are free-running, so run
   /// such programs on the machine engine with expected output counts.
   bool lowerControl = false;
-  /// Expand composite FIFOs into identity chains (required before machine
-  /// simulation; kept optional so graphs stay readable in DOT form).
+  /// Lower composite FIFOs before returning (kept optional so graphs stay
+  /// readable in DOT form).  Which lowering depends on `fuseFifos`.
   bool lower = false;
+  /// With `lower`: fuse buffering chains into composite ring-buffer FIFO
+  /// cells (opt::fuseFifos) instead of expanding them into identity chains
+  /// (dfg::expandFifos).  Same outputs and output times; O(1) cells and
+  /// packets per chain instead of O(depth).  Turn off to make per-cell
+  /// statistics refer to real instruction cells.
+  bool fuseFifos = true;
 };
 
 }  // namespace valpipe::core

@@ -10,6 +10,7 @@
 #include "dfg/lower.hpp"
 #include "dfg/prune.hpp"
 #include "dfg/validate.hpp"
+#include "opt/fuse.hpp"
 #include "support/check.hpp"
 #include "support/diagnostics.hpp"
 #include "val/classify.hpp"
@@ -137,7 +138,9 @@ CompiledProgram compile(const Module& m, const CompileOptions& opts) {
   }
   out.balance = balanceGraph(out.graph, opts.balanceMode);
   dfg::validateOrThrow(out.graph, /*requireAcyclic=*/true);
-  if (opts.lower) out.graph = dfg::expandFifos(out.graph);
+  if (opts.lower)
+    out.graph = opts.fuseFifos ? opt::fuseFifos(out.graph)
+                               : dfg::expandFifos(out.graph);
   return out;
 }
 

@@ -43,8 +43,11 @@ enum class Op : std::uint8_t {
   BoolSeq,
   /// Source of the integer index sequence lo, lo+1, ..., hi (one wave).
   IndexSeq,
-  /// Composite FIFO of `fifoDepth` identity cells; lowered to an Id chain
-  /// before machine-level simulation so cell statistics are truthful.
+  /// Composite FIFO of `fifoDepth` identity cells.  Lowered one of two ways
+  /// before machine-level simulation: expanded into an Id chain
+  /// (dfg::expandFifos) when per-cell statistics must be truthful, or — the
+  /// compiler default — kept as one composite ring-buffer cell fired with
+  /// the chain's exact external timing (opt::fuseFifos + exec/fifo.hpp).
   Fifo,
   /// Stream source fed by the host: an array arriving as successive result
   /// packets, least index first (§3's "array as a sequence of values").

@@ -14,6 +14,7 @@ GraphStats computeStats(const Graph& g) {
     if (n.op == Op::Fifo) {
       ++s.fifoNodes;
       s.fifoSlots += static_cast<std::size_t>(n.fifoDepth);
+      ++s.fifoDepthHist[n.fifoDepth];
     }
     if (n.hasGate()) ++s.gatedCells;
     if (isSource(n.op)) ++s.sources;
@@ -30,6 +31,11 @@ std::string GraphStats::str() const {
      << " arcs, " << fifoNodes << " FIFOs holding " << fifoSlots
      << " slots, " << gatedCells << " gated, " << sources << " sources; by op:";
   for (const auto& [op, count] : byOp) os << ' ' << mnemonic(op) << '=' << count;
+  if (!fifoDepthHist.empty()) {
+    os << "; FIFO depths:";
+    for (const auto& [depth, count] : fifoDepthHist)
+      os << ' ' << depth << 'x' << count;
+  }
   return os.str();
 }
 

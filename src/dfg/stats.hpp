@@ -19,6 +19,9 @@ struct GraphStats {
   std::size_t sources = 0;        ///< BoolSeq/IndexSeq/Input/AmFetch cells
   std::size_t arcs = 0;           ///< operand+gate arcs (excludes literals)
   std::map<Op, std::size_t> byOp;
+  /// FIFO nodes per depth — after opt::fuseFifos this is the composite-cell
+  /// depth distribution (`nodes` vs `cells` gives fused vs expanded counts).
+  std::map<int, std::size_t> fifoDepthHist;
 
   std::string str() const;
 };

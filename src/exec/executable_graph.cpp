@@ -1,5 +1,6 @@
 #include "exec/executable_graph.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "support/check.hpp"
@@ -74,6 +75,10 @@ ExecutableGraph::ExecutableGraph(const dfg::Graph& g) {
     for (bool b : nd.pattern.bits) patternBits_.push_back(b ? 1 : 0);
     c.patternEnd = static_cast<std::uint32_t>(patternBits_.size());
     if (!nd.streamName.empty()) c.stream = internStream(nd.streamName);
+    if (nd.op == Op::Fifo) {
+      c.fifoDepth = nd.fifoDepth;
+      maxFifoDepth_ = std::max(maxFifoDepth_, nd.fifoDepth);
+    }
   }
 
   // Pass 2: CSR offsets per producer, tag-segmented.

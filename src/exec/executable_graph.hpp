@@ -19,6 +19,13 @@
 //     carries the flat slot index / producer cell needed to route acknowledge
 //     wake-ups without touching the original graph.
 //
+// Two lowering paths feed the timed engines.  An expanded graph
+// (dfg::expandFifos) contains no Op::Fifo nodes: every FIFO is an Id chain
+// and each stage is an ordinary cell here.  A fused graph (opt::fuseFifos,
+// the default) keeps each FIFO as ONE cell whose `fifoDepth` records the
+// stage count; the engines fire such composite cells through an O(1)
+// ring-buffer rule (exec/fifo.hpp) that is timing-equivalent to the chain.
+//
 // The structure is read-only after construction and shared by any number of
 // concurrently running engines.
 #pragma once
@@ -88,6 +95,9 @@ struct Cell {
   std::uint32_t patternBegin = 0;  ///< BoolSeq bits
   std::uint32_t patternEnd = 0;
   std::int32_t stream = -1;  ///< interned stream-name index, -1 when none
+  /// Fifo: stage count of the chain this cell stands for.  Depth >= 2 makes
+  /// the cell composite (ring-buffer firing rule); depth 1 runs as identity.
+  std::int32_t fifoDepth = 0;
 };
 
 class ExecutableGraph {
@@ -146,6 +156,10 @@ class ExecutableGraph {
                         : fetchersByStream_[static_cast<std::size_t>(c.stream)];
   }
 
+  /// Largest Fifo cell depth (0 when the graph has none): sizes the engines'
+  /// composite-FIFO settle/wake slack.
+  int maxFifoDepth() const { return maxFifoDepth_; }
+
  private:
   std::vector<Cell> cells_;
   std::vector<Operand> operands_;
@@ -153,6 +167,7 @@ class ExecutableGraph {
   std::vector<std::uint8_t> patternBits_;
   std::vector<std::string> streamNames_;
   std::vector<std::vector<std::uint32_t>> fetchersByStream_;
+  int maxFifoDepth_ = 0;
 };
 
 }  // namespace valpipe::exec

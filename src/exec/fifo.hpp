@@ -1,0 +1,152 @@
+// Composite-FIFO ring state of the timed machine engines.
+//
+// The fusion pass (src/opt) keeps a balanced graph's FIFO buffering as
+// single Op::Fifo cells of depth k instead of expanding them into k identity
+// cells.  FifoState is the O(1) dynamic state such a composite cell carries,
+// and its firing rule reproduces the expanded chain's timing exactly:
+//
+//   - latency: a token accepted at time a is emittable at a + (k-1)*D and
+//     delivered D later — the k stage traversals of the chain;
+//   - occupancy: at most k-1 tokens queue inside (the interior stage slots),
+//     plus one in the composite's own input slot — the chain's total of k;
+//   - rate: accepts and emits each respect the period P = D + A, the §3
+//     two-instruction-time repetition bound under the unit profile;
+//   - backpressure: once the ring has wrapped, the a-th accept additionally
+//     waits for the acknowledge wave of the (a-(k-1))-th emit to walk back
+//     across the k-1 interior stages, one A per hop — the chain's release
+//     schedule under a stalled consumer.
+//
+// Here D = max(execLatency + routeDelay, 1) and A = max(ackDelay, 1) are the
+// chain's effective per-stage forward and backward hop times; the max with 1
+// is the engines' two-phase visibility rule (an effect at time t is acted on
+// no earlier than the next instruction time).
+//
+// Engines decide doAccept/doEmit in phase A (against start-of-cycle state)
+// and apply them unchanged in phase B; caching the decision keeps the
+// two-phase discipline exact even when an accept and an emit coincide.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "exec/executable_graph.hpp"
+#include "support/check.hpp"
+#include "support/value.hpp"
+
+namespace valpipe::exec {
+
+/// Effective per-stage hop times of the chain a composite FIFO replaces.
+struct FifoTiming {
+  std::int64_t resultDelay = 1;  ///< D: stage firing to the next stage's slot
+  std::int64_t ackDelay = 1;     ///< A: stage consume to the producer's release
+
+  std::int64_t period() const { return resultDelay + ackDelay; }
+
+  static FifoTiming of(int execLatency, int routeDelay, int ackDelay) {
+    FifoTiming t;
+    t.resultDelay = std::max<std::int64_t>(execLatency + routeDelay, 1);
+    t.ackDelay = std::max<std::int64_t>(ackDelay, 1);
+    return t;
+  }
+};
+
+/// Dynamic state of one composite FIFO cell (depth >= 2).
+struct FifoState {
+  static constexpr std::int64_t kNever =
+      std::numeric_limits<std::int64_t>::min() / 4;
+
+  int depth = 0;  ///< k: stage count of the chain this cell replaces
+  std::vector<Value> vals;            ///< ring of queued tokens (cap k-1)
+  std::vector<std::int64_t> readyAt;  ///< per ring entry: earliest emit time
+  std::vector<std::int64_t> emitAt;   ///< emit times, circular by emit count
+  std::uint32_t head = 0;
+  std::uint32_t count = 0;
+  std::int64_t accepted = 0;  ///< lifetime tokens pushed
+  std::int64_t emitted = 0;   ///< lifetime tokens popped
+  std::int64_t lastAccept = kNever;
+  std::int64_t lastEmit = kNever;
+
+  // Phase-A decision, applied unchanged in phase B.
+  bool doAccept = false;
+  bool doEmit = false;
+  std::int64_t decidedAt = kNever;
+
+  void init(int k) {
+    depth = k;
+    const auto r = static_cast<std::size_t>(k - 1);
+    vals.assign(r, Value{});
+    readyAt.assign(r, 0);
+    emitAt.assign(r, kNever);
+  }
+
+  std::int64_t ring() const { return depth - 1; }
+
+  /// Room-and-rate half of the accept test (the engine checks the input
+  /// slot separately): an interior slot is free, the head stage's period
+  /// has elapsed, and — once the ring has wrapped — the acknowledge wave of
+  /// the emit that freed the target slot has crossed the interior stages.
+  bool canAccept(const FifoTiming& t, std::int64_t now) const {
+    if (count >= static_cast<std::uint32_t>(ring())) return false;
+    if (now < lastAccept + t.period()) return false;
+    if (accepted >= ring() &&
+        now < emitAt[static_cast<std::size_t>(accepted % ring())] +
+                  ring() * t.ackDelay)
+      return false;
+    return true;
+  }
+
+  /// Token-and-rate half of the emit test (the engine checks destination
+  /// slots separately): the head token has traversed the interior stages
+  /// and the tail stage's period has elapsed.
+  bool canEmit(const FifoTiming& t, std::int64_t now) const {
+    return count >= 1 && now >= readyAt[head] && now >= lastEmit + t.period();
+  }
+
+  void push(const Value& v, const FifoTiming& t, std::int64_t now) {
+    const auto idx = static_cast<std::size_t>(
+        (head + count) % static_cast<std::uint32_t>(ring()));
+    vals[idx] = v;
+    readyAt[idx] = now + ring() * t.resultDelay;
+    ++count;
+    ++accepted;
+    lastAccept = now;
+  }
+
+  Value pop(std::int64_t now) {
+    emitAt[static_cast<std::size_t>(emitted % ring())] = now;
+    ++emitted;
+    const Value v = vals[head];
+    head = (head + 1) % static_cast<std::uint32_t>(ring());
+    --count;
+    lastEmit = now;
+    return v;
+  }
+};
+
+/// Ring state for every composite cell of `eg` (depth >= 2; depth-1 FIFO
+/// cells run through the generic identity path).  Checks the cell shape the
+/// composite firing rule depends on.
+inline std::vector<FifoState> makeFifoStates(const ExecutableGraph& eg) {
+  std::vector<FifoState> f(eg.size());
+  for (std::uint32_t c = 0; c < eg.size(); ++c) {
+    const Cell& cl = eg.cell(c);
+    if (cl.op != dfg::Op::Fifo || cl.fifoDepth < 2) continue;
+    VALPIPE_CHECK_MSG(cl.numPorts == 1 && !cl.hasGate,
+                      "composite FIFO cell must have one ungated operand");
+    f[c].init(cl.fifoDepth);
+  }
+  return f;
+}
+
+/// Idle-window slack a graph with composite FIFO cells needs: a composite
+/// can wait up to (k-1)*D silently for its head token to traverse the
+/// interior stages (and up to (k-1)*A for the backward acknowledge wave),
+/// with no firing anywhere in between.  Zero for graphs without composites,
+/// so expanded runs keep their exact quiescence times.
+inline std::int64_t fifoSettleSlack(int maxFifoDepth, const FifoTiming& t) {
+  return maxFifoDepth >= 2 ? maxFifoDepth * t.period() : 0;
+}
+
+}  // namespace valpipe::exec

@@ -10,6 +10,7 @@ const char* invariantName(Invariant inv) {
     case Invariant::NeverOverwrite: return "never-overwrite";
     case Invariant::AckBalance: return "ack balance";
     case Invariant::OneActiveInstance: return "one active instance";
+    case Invariant::FifoCapacity: return "fifo capacity";
   }
   return "?";
 }

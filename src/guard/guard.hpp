@@ -44,6 +44,7 @@ struct Config {
   bool neverOverwrite = true;
   bool ackBalance = true;
   bool oneActiveInstance = true;
+  bool fifoCapacity = true;
 };
 
 enum class Invariant {
@@ -51,6 +52,9 @@ enum class Invariant {
   NeverOverwrite,
   AckBalance,
   OneActiveInstance,
+  /// Capacity-k generalization of one-active-instance for composite FIFO
+  /// cells: in-flight tokens never exceed the interior stage count.
+  FifoCapacity,
 };
 
 const char* invariantName(Invariant inv);
@@ -143,6 +147,22 @@ class LaneGuard {
         (!occupied || st_->consumed[slot] >= st_->delivered[slot]))
       violate(Invariant::TokenConservation, consumer, slot, at);
     ++st_->consumed[slot];
+  }
+
+  /// A composite FIFO cell fired (accept and/or emit applied; see
+  /// exec/fifo.hpp).  The capacity-1 slot invariants above still govern the
+  /// composite's own input and destination slots; this hook checks the
+  /// capacity-(depth-1) interior the chain's per-stage slots used to cover:
+  /// emits never outrun accepts, and queued tokens never exceed the interior
+  /// stage count.  Violations are charged to the composite's input slot.
+  void onFifoFire(std::uint32_t cell, std::uint32_t inputSlot,
+                  std::int64_t accepted, std::int64_t emitted, int depth,
+                  std::int64_t at) {
+    if (!st_) return;
+    if (cfg_->tokenConservation && emitted > accepted)
+      violate(Invariant::TokenConservation, cell, inputSlot, at);
+    if (cfg_->fifoCapacity && accepted - emitted > depth - 1)
+      violate(Invariant::FifoCapacity, cell, inputSlot, at);
   }
 
  private:

@@ -25,7 +25,6 @@
 #include <algorithm>
 #include <optional>
 
-#include "dfg/lower.hpp"
 #include "exec/cell_state.hpp"
 #include "exec/executable_graph.hpp"
 #include "exec/fu_pool.hpp"
@@ -54,6 +53,7 @@ namespace {
 struct Engine : detail::EngineBase<Engine> {
   std::vector<Slot> slotStore;
   std::vector<CellDyn> dynStore;
+  std::vector<exec::FifoState> fifoStore;
   exec::FuPool fu;
   exec::StopCondition stop;
   exec::ReadyQueue* rq = nullptr;  ///< set while running event-driven
@@ -67,10 +67,12 @@ struct Engine : detail::EngineBase<Engine> {
       : EngineBase(graph, config, o),
         slotStore(graph.slotCount()),
         dynStore(graph.size()),
+        fifoStore(exec::makeFifoStates(graph)),
         fu(config.fuUnits, config.execLatency),
         stop(o.expectedOutputs) {
     slots = slotStore.data();
     cellDyn = dynStore.data();
+    fifoDyn = fifoStore.data();
     if (opts.guards) {
       gst.emplace(eg);
       grd = guard::LaneGuard(opts.guards, &*gst, &eg);
@@ -338,10 +340,11 @@ double MachineResult::steadyRate(const std::string& stream) const {
 
 MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
                        const run::StreamMap& inputs, const RunOptions& opts) {
+  // Both lowering paths are accepted: expanded graphs (dfg::expandFifos, no
+  // Fifo nodes) and fused graphs whose composite Fifo cells the engines fire
+  // through the timing-equivalent ring-buffer rule (exec/fifo.hpp).
   if (opts.scheduler == SchedulerKind::Reference)
     return detail::simulateReference(lowered, cfg, inputs, opts);
-  VALPIPE_CHECK_MSG(dfg::isLowered(lowered),
-                    "machine engine requires lowered graph");
   const ExecutableGraph eg(lowered);
   if (opts.scheduler == SchedulerKind::ParallelEventDriven)
     return detail::simulateParallel(lowered, eg, cfg, inputs, opts);

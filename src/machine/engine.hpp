@@ -26,8 +26,13 @@
 //     verbatim as the verification oracle and bench baseline (selected via
 //     RunOptions::scheduler — the one way to pick a scheduler).
 //
-// The graph must be lowered (dfg::expandFifos) so cell counts and rates refer
-// to real instruction cells.
+// The graph must carry no unresolved sugar beyond Op::Fifo, which the
+// simulator accepts in either lowered form: expanded into an Id chain
+// (dfg::expandFifos), where cell counts and rates refer to real instruction
+// cells; or fused as one composite ring-buffer cell per chain
+// (opt::fuseFifos, the compiler default), fired with the expanded chain's
+// exact external timing via exec/fifo.hpp — same outputs, same output times,
+// O(1) cells and packets per chain instead of O(depth).
 #pragma once
 
 #include <array>

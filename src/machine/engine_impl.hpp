@@ -31,6 +31,7 @@
 
 #include "exec/cell_state.hpp"
 #include "exec/executable_graph.hpp"
+#include "exec/fifo.hpp"
 #include "exec/ops.hpp"
 #include "exec/packet_counters.hpp"
 #include "exec/router.hpp"
@@ -62,6 +63,11 @@ struct EngineBase {
   exec::Slot* slots = nullptr;       ///< per operand slot (gates included)
   exec::CellDyn* cellDyn = nullptr;  ///< per cell emitted / busyUntil
   std::uint64_t* firings = nullptr;  ///< per cell firing counts
+  /// Composite-FIFO ring state (exec::makeFifoStates), non-empty entries for
+  /// Fifo cells of depth >= 2 only.  Written through a const enabled(): the
+  /// phase-A accept/emit decision is cached here so phase B applies exactly
+  /// what phase A saw (unobservable bookkeeping, like a memo).
+  exec::FifoState* fifoDyn = nullptr;
 
   exec::Router router;
   exec::PacketCounters packets;
@@ -200,12 +206,40 @@ struct EngineBase {
     return true;
   }
 
+  static bool isComposite(const exec::Cell& cl) {
+    return cl.op == dfg::Op::Fifo && cl.fifoDepth >= 2;
+  }
+
+  /// Per-stage hop times of the Id chain a composite FIFO stands for (the
+  /// chain's stages are Pe-class identity cells, like the Fifo cell itself).
+  exec::FifoTiming fifoTiming() const {
+    return exec::FifoTiming::of(
+        cfg.execLatency[static_cast<std::size_t>(dfg::fuClass(dfg::Op::Fifo))],
+        cfg.routeDelay, cfg.ackDelay);
+  }
+
+  /// Extra settle/wake span composite cells introduce (0 without them): a
+  /// composite holds tokens for up to (k-1) forward or backward hop times
+  /// with no firing anywhere, which both the quiescence window and the time
+  /// wheels must cover.
+  std::int64_t fifoSlack() const {
+    return exec::fifoSettleSlack(eg.maxFifoDepth(), fifoTiming());
+  }
+
   /// Enabled test (phase A, reads only start-of-cycle lane-local state).
   bool enabled(std::uint32_t c) const {
     const exec::Cell& cl = eg.cell(c);
     const exec::CellDyn& dyn = cellDyn[c];
     if (dyn.busyUntil > now) return false;
 
+    if (isComposite(cl)) {
+      exec::FifoState& f = fifoDyn[c];
+      const exec::FifoTiming t = fifoTiming();
+      f.doEmit = f.canEmit(t, now) && destsFree(eg.alwaysDests(cl));
+      f.doAccept = portReady(cl, 0) && f.canAccept(t, now);
+      f.decidedAt = now;
+      return f.doEmit || f.doAccept;
+    }
     if (dfg::isSource(cl.op)) {
       if (dyn.emitted >= sourceLimit(c, cl)) return false;
       return destsFree(eg.alwaysDests(cl));
@@ -289,9 +323,55 @@ struct EngineBase {
     self().wake(d.consumer, wakeAt);
   }
 
+  /// Phase B of a composite FIFO cell: applies the accept and/or emit the
+  /// phase-A decision chose.  The emit is the composite's observable firing
+  /// (the chain's tail stage is the one cell that delivers externally), so
+  /// firing/packet counters and probes tick on emits only; an accept-only
+  /// activation still occupies the cell (and one FU grant) for this
+  /// instruction time, like the chain's head stage would.
+  void fireFifo(std::uint32_t c, const exec::Cell& cl) {
+    exec::FifoState& f = fifoDyn[c];
+    VALPIPE_CHECK_MSG(f.decidedAt == now,
+                      "composite FIFO fired without a phase-A decision");
+    exec::CellDyn& dyn = cellDyn[c];
+    dyn.busyUntil = now + 1;
+    consumedAny = deliveredAny = false;
+    const exec::FifoTiming t = fifoTiming();
+    const std::int64_t ringLen = f.ring();
+    if (f.doEmit) {
+      ++firings[c];
+      ++totalFirings;
+      ++packets.opPacketsByClass[static_cast<std::size_t>(cl.fu)];
+      probe.fire(c, now, cfg.execLatency[static_cast<std::size_t>(cl.fu)]);
+      const Value v = f.pop(now);
+      router.noteFiring(c);
+      const std::int64_t arrive =
+          now + cfg.execLatency[static_cast<std::size_t>(cl.fu)] +
+          cfg.routeDelay + inj.execJitter();
+      deliver(eg.alwaysDests(cl), v, c, arrive);
+      // This emit's acknowledge wave re-admits a blocked accept after (k-1)
+      // backward hops; the tail itself may re-emit one period later.
+      self().wake(c, now + ringLen * t.ackDelay);
+      self().wake(c, now + t.period());
+    }
+    if (f.doAccept) {
+      const Value v = portValue(cl, 0);
+      f.push(v, t, now);
+      consume(c, cl, 0);
+      // The head stage may accept again one period later.
+      self().wake(c, now + t.period());
+    }
+    grd.onFifoFire(c, eg.slotOf(cl, 0), f.accepted, f.emitted, f.depth, now);
+    // The next head token becomes emittable with no external event.
+    if (f.count > 0)
+      self().wake(c, std::max(f.readyAt[f.head], f.lastEmit + t.period()));
+    if (!consumedAny && !deliveredAny) self().wake(c, now + 1);
+  }
+
   /// Phase B: applies the firing of `c` at time `now`.
   void fire(std::uint32_t c) {
     const exec::Cell& cl = eg.cell(c);
+    if (isComposite(cl)) return fireFifo(c, cl);
     exec::CellDyn& dyn = cellDyn[c];
     ++firings[c];
     ++totalFirings;
@@ -358,26 +438,28 @@ struct EngineBase {
 
   std::int64_t settleWindow() const {
     // Injected delays stretch how long a packet can be legitimately in
-    // flight; the idle window must outlast them or a delayed packet would
-    // be declared deadlock.
+    // flight, and a composite FIFO holds tokens silently for up to its
+    // traversal slack; the idle window must outlast both or an in-flight
+    // token would be declared deadlock.
     return exec::quiesceWindow(
                cfg.routeDelay, cfg.ackDelay,
                *std::max_element(cfg.execLatency.begin(),
                                  cfg.execLatency.end())) +
-           inj.maxExtraDelay();
+           inj.maxExtraDelay() + fifoSlack();
   }
 
   /// Longest forward distance of any wake: a delivered packet's transit
-  /// (execution + routing + the inter-PE hop), an acknowledge, or a
-  /// function-unit release — a time wheel must span it without aliasing.
-  /// Injected delays widen it like settleWindow().
+  /// (execution + routing + the inter-PE hop), an acknowledge, a
+  /// function-unit release, or a composite FIFO's internal traversal — a
+  /// time wheel must span it without aliasing.  Injected delays widen it
+  /// like settleWindow().
   std::int64_t wakeHorizon() const {
     return std::max<std::int64_t>(
                std::max<std::int64_t>(1, cfg.ackDelay),
                *std::max_element(cfg.execLatency.begin(),
                                  cfg.execLatency.end()) +
                    cfg.routeDelay + cfg.interPeDelay) +
-           inj.maxExtraDelay();
+           inj.maxExtraDelay() + fifoSlack();
   }
 };
 

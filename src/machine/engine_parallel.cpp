@@ -42,6 +42,7 @@
 #include "dfg/lower.hpp"
 #include "exec/cell_state.hpp"
 #include "exec/executable_graph.hpp"
+#include "exec/fifo.hpp"
 #include "exec/fu_pool.hpp"
 #include "exec/mailbox.hpp"
 #include "exec/ready_queue.hpp"
@@ -127,6 +128,9 @@ struct Shared {
 
   std::vector<Slot> slots;          ///< owned by the consumer cell's shard
   std::vector<CellDyn> cellDyn;     ///< owned by the cell's shard
+  /// Composite-FIFO ring state, owned by the cell's shard like cellDyn (all
+  /// composite self-wakes are shard-local, so no mailbox traffic touches it).
+  std::vector<exec::FifoState> fifoDyn;
   std::vector<std::uint64_t> firings;
   std::vector<std::uint8_t> mirrorFull;   ///< producer-side dest mirrors
   std::vector<std::int64_t> mirrorFreed;
@@ -181,6 +185,7 @@ struct Shared {
         barrier(plan.shardCount),
         slots(graph.slotCount()),
         cellDyn(graph.size()),
+        fifoDyn(exec::makeFifoStates(graph)),
         firings(graph.size(), 0),
         mirrorFull(graph.slotCount(), 0),
         mirrorFreed(graph.slotCount(), 0),
@@ -336,6 +341,7 @@ struct Worker : EngineBase<Worker> {
         hzn(wakeHorizon()) {
     slots = sh.slots.data();
     cellDyn = sh.cellDyn.data();
+    fifoDyn = sh.fifoDyn.data();
     firings = sh.firings.data();
     // Each shard draws its randomized fault decisions from its own lane
     // stream (the horizon used above only depends on the plan, not the
@@ -638,9 +644,16 @@ MachineResult simulateParallel(const dfg::Graph& lowered,
   }
 
   Shared sh(eg, cfg, opts, exec::buildShardPlan(eg, S, hint));
-  sh.settle = exec::quiesceWindow(
-      cfg.routeDelay, cfg.ackDelay,
-      *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()));
+  sh.settle =
+      exec::quiesceWindow(
+          cfg.routeDelay, cfg.ackDelay,
+          *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end())) +
+      exec::fifoSettleSlack(
+          eg.maxFifoDepth(),
+          exec::FifoTiming::of(
+              cfg.execLatency[static_cast<std::size_t>(
+                  dfg::fuClass(dfg::Op::Fifo))],
+              cfg.routeDelay, cfg.ackDelay));
   if (opts.faults) {
     sh.settle += opts.faults->maxExtraDelay();
     sh.floorTime = opts.faults->lastOutageEnd();

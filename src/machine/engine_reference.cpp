@@ -6,14 +6,17 @@
 // the event-driven scheduler reproduces its MachineResult bit-for-bit; and
 // (b) bench baseline — bench_engine_scaling reports the flattened engines'
 // speedup against it.  Do not optimize this file; its value is that it stays
-// the same.  (The fault-injection/guard/watchdog hooks below are the one
-// sanctioned addition: the resilience layer must cover every scheduler, the
-// oracle included, and each hook is a null test when the run carries no
-// plan or guard config.)
+// the same.  (Two sanctioned additions: the fault-injection/guard/watchdog
+// hooks — the resilience layer must cover every scheduler, the oracle
+// included, and each hook is a null test when the run carries no plan or
+// guard config — and the composite-FIFO firing rule, which the oracle must
+// implement so fused graphs stay cross-checkable; it mirrors
+// EngineBase::fireFifo over exec::FifoState and is inert on expanded
+// graphs.)
 #include <algorithm>
 #include <optional>
 
-#include "dfg/lower.hpp"
+#include "exec/fifo.hpp"
 #include "guard/diagnosis.hpp"
 #include "machine/engine.hpp"
 #include "machine/engine_impl.hpp"
@@ -54,6 +57,11 @@ struct ReferenceEngine {
   const RunOptions& opts;
 
   std::vector<CellState> state;
+  /// Composite-FIFO ring state (Fifo nodes of depth >= 2 only); mutable
+  /// because the const phase-A enabled() caches its accept/emit decision
+  /// there, exactly as the flattened engines do through their fifoDyn
+  /// pointer.
+  mutable std::vector<exec::FifoState> fifo;
   std::array<std::vector<std::int64_t>, 4> fuFreeAt;  ///< per class unit pool
   MachineResult result;
   std::int64_t now = 0;
@@ -72,8 +80,16 @@ struct ReferenceEngine {
   ReferenceEngine(const Graph& graph, const MachineConfig& config,
                   const run::StreamMap& in, const RunOptions& o)
       : g(graph), cfg(config), wiring(graph), inputs(in), opts(o) {
-    VALPIPE_CHECK_MSG(dfg::isLowered(g), "machine engine requires lowered graph");
     inj = fault::Injector(opts.faults, 0);
+    fifo.resize(g.size());
+    for (NodeId id : g.ids()) {
+      const Node& n = g.node(id);
+      if (n.op == Op::Fifo && n.fifoDepth >= 2) {
+        VALPIPE_CHECK_MSG(n.inputs.size() == 1 && !n.gate,
+                          "composite FIFO cell must have one ungated operand");
+        fifo[id.index].init(n.fifoDepth);
+      }
+    }
     if (opts.guards) {
       egv.emplace(g);
       gst.emplace(*egv);
@@ -178,12 +194,36 @@ struct ReferenceEngine {
     return true;
   }
 
+  /// True for a fused FIFO chain kept as one ring-buffer cell; depth-1
+  /// FIFOs fall through to the generic identity path.
+  static bool isComposite(const Node& n) {
+    return n.op == Op::Fifo && n.fifoDepth >= 2;
+  }
+
+  exec::FifoTiming fifoTiming() const {
+    return exec::FifoTiming::of(
+        cfg.execLatency[static_cast<std::size_t>(dfg::fuClass(Op::Fifo))],
+        cfg.routeDelay, cfg.ackDelay);
+  }
+
   /// Enabled test (phase A, reads only start-of-cycle state).
   bool enabled(NodeId id) const {
     const Node& n = g.node(id);
     const CellState& cs = state[id.index];
     if (cs.busyUntil > now) return false;
 
+    if (isComposite(n)) {
+      // Phase-A decision caching, exactly as EngineBase::enabled: phase B
+      // must act on the decision made against start-of-cycle state, or an
+      // emit that frees this cell's input could enable an accept in the
+      // same instruction time (impossible for the expanded chain).
+      exec::FifoState& f = fifo[id.index];
+      const exec::FifoTiming t = fifoTiming();
+      f.doEmit = f.canEmit(t, now) && destsFree(id, std::nullopt);
+      f.doAccept = portReady(id, 0) && f.canAccept(t, now);
+      f.decidedAt = now;
+      return f.doEmit || f.doAccept;
+    }
     if (dfg::isSource(n.op)) {
       if (cs.emitted >= sourceLimit(n)) return false;
       return destsFree(id, std::nullopt);
@@ -234,9 +274,78 @@ struct ReferenceEngine {
     if (inj.dupAck()) grd.onAck(src.producer.index, guardSlot(id, port), now);
   }
 
+  /// Delivers a produced result into every destination slot.  Shared by the
+  /// generic fire() and the composite-FIFO emit path so the two stay
+  /// byte-identical in their packet accounting.
+  void deliver(NodeId id, const Node& n, const Value& out,
+               std::optional<bool> gateVal) {
+    if (opts.placement)
+      ++result.pePackets[static_cast<std::size_t>(opts.placement->of(id))];
+    const std::int64_t arrive =
+        now + cfg.latencyOf(n.op) + cfg.routeDelay + inj.execJitter();
+    for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
+      Slot& s = d.port == dfg::kGatePort ? state[d.consumer.index].gate
+                                         : state[d.consumer.index].ports[d.port];
+      // Packets between cells in different PEs traverse the distribution
+      // network (Fig. 1) and pay the extra hop.
+      std::int64_t at = arrive;
+      if (opts.placement &&
+          opts.placement->of(id) != opts.placement->of(d.consumer)) {
+        at += cfg.interPeDelay;
+        ++result.packets.networkResultPackets;
+      }
+      at += inj.deliveryDelay();
+      ++result.packets.resultPackets;
+      const std::uint32_t gslot = guardSlot(d.consumer, d.port);
+      grd.onSend(id.index, gslot, now);
+      // A dropped result still occupies the slot (the producer must stay
+      // blocked) but never becomes ready; see EngineBase::deliver.
+      if (inj.dropResult()) at = fault::kLostPacket;
+      const int copies = inj.dupResult() ? 2 : 1;
+      for (int k = 0; k < copies; ++k) {
+        grd.onDeliver(d.consumer.index, gslot, s.full, at);
+        VALPIPE_CHECK_MSG(!s.full,
+                          "result packet delivered into occupied slot");
+        s.full = true;
+        s.v = out;
+        s.readyAt = at;
+      }
+      probe.result(id.index, d.consumer.index, now, at);
+    }
+  }
+
+  /// Phase B for a composite FIFO cell: emit from the ring (counted as the
+  /// firing) then accept into it, per the cached phase-A decision.  Mirrors
+  /// EngineBase::fireFifo.
+  void fireFifo(NodeId id, const Node& n) {
+    exec::FifoState& f = fifo[id.index];
+    VALPIPE_CHECK_MSG(f.decidedAt == now,
+                      "composite FIFO fired without a phase-A decision");
+    CellState& cs = state[id.index];
+    cs.busyUntil = now + 1;
+    const exec::FifoTiming t = fifoTiming();
+    if (f.doEmit) {
+      ++result.firings[id.index];
+      ++result.totalFirings;
+      ++result.packets
+            .opPacketsByClass[static_cast<std::size_t>(dfg::fuClass(n.op))];
+      probe.fire(id.index, now, cfg.latencyOf(n.op));
+      const Value v = f.pop(now);
+      deliver(id, n, v, std::nullopt);
+    }
+    if (f.doAccept) {
+      const Value v = portValue(id, 0);
+      f.push(v, t, now);
+      consume(id, 0);
+    }
+    grd.onFifoFire(id.index, guardSlot(id, 0), f.accepted, f.emitted, f.depth,
+                   now);
+  }
+
   /// Phase B: applies the firing of `id` at time `now`.
   void fire(NodeId id) {
     const Node& n = g.node(id);
+    if (isComposite(n)) return fireFifo(id, n);
     CellState& cs = state[id.index];
     ++result.firings[id.index];
     ++result.totalFirings;
@@ -258,6 +367,9 @@ struct ReferenceEngine {
       auto in = [&](int p) { return portValue(id, p); };
       switch (n.op) {
         case Op::Id: out = in(0); break;
+        // A depth-1 FIFO is a single identity stage; only depth >= 2 runs
+        // through the composite ring-buffer path above.
+        case Op::Fifo: out = in(0); break;
         case Op::Not: out = ops::logicalNot(in(0)); break;
         case Op::Neg: out = ops::neg(in(0)); break;
         case Op::Abs: out = ops::abs(in(0)); break;
@@ -298,39 +410,7 @@ struct ReferenceEngine {
     }
 
     if (!out.has_value()) return;
-    if (opts.placement)
-      ++result.pePackets[static_cast<std::size_t>(opts.placement->of(id))];
-    const std::int64_t arrive =
-        now + cfg.latencyOf(n.op) + cfg.routeDelay + inj.execJitter();
-    for (const dfg::DestRef& d : wiring.deliveredDests(id, gateVal)) {
-      Slot& s = d.port == dfg::kGatePort ? state[d.consumer.index].gate
-                                         : state[d.consumer.index].ports[d.port];
-      // Packets between cells in different PEs traverse the distribution
-      // network (Fig. 1) and pay the extra hop.
-      std::int64_t at = arrive;
-      if (opts.placement &&
-          opts.placement->of(id) != opts.placement->of(d.consumer)) {
-        at += cfg.interPeDelay;
-        ++result.packets.networkResultPackets;
-      }
-      at += inj.deliveryDelay();
-      ++result.packets.resultPackets;
-      const std::uint32_t gslot = guardSlot(d.consumer, d.port);
-      grd.onSend(id.index, gslot, now);
-      // A dropped result still occupies the slot (the producer must stay
-      // blocked) but never becomes ready; see EngineBase::deliver.
-      if (inj.dropResult()) at = fault::kLostPacket;
-      const int copies = inj.dupResult() ? 2 : 1;
-      for (int k = 0; k < copies; ++k) {
-        grd.onDeliver(d.consumer.index, gslot, s.full, at);
-        VALPIPE_CHECK_MSG(!s.full,
-                          "result packet delivered into occupied slot");
-        s.full = true;
-        s.v = *out;
-        s.readyAt = at;
-      }
-      probe.result(id.index, d.consumer.index, now, at);
-    }
+    deliver(id, n, *out, gateVal);
   }
 
   /// Tries to reserve a function unit of the op's class (phase A grant).
@@ -415,6 +495,13 @@ struct ReferenceEngine {
         2 + cfg.routeDelay + cfg.ackDelay +
         *std::max_element(cfg.execLatency.begin(), cfg.execLatency.end()) +
         inj.maxExtraDelay();
+    // A composite FIFO can sit with tokens maturing inside its ring while
+    // no cell fires; widen the window so that gap is not read as deadlock.
+    int maxFifoDepth = 0;
+    for (NodeId id : g.ids())
+      if (g.node(id).op == Op::Fifo)
+        maxFifoDepth = std::max(maxFifoDepth, g.node(id).fifoDepth);
+    settle += exec::fifoSettleSlack(maxFifoDepth, fifoTiming());
     if (opts.watchdog > 0) settle = std::max(settle, opts.watchdog);
     const std::int64_t floorTime = inj.quiesceFloor();
     const std::int64_t cap = opts.maxInstructionTimes > 0

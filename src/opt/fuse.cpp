@@ -1,0 +1,155 @@
+#include "opt/fuse.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/prune.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::opt {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::Op;
+using dfg::PortSrc;
+
+namespace {
+
+/// A node that can be a chain member: a pure single-operand buffering cell.
+/// Gated identities route packets and phase-shifted cells carry balancer
+/// metadata — neither is a plain buffer stage.
+bool chainable(const Node& n) {
+  return (n.op == Op::Id || n.op == Op::Fifo) && !n.gate &&
+         n.inputs.size() == 1 && n.phaseShift == 0;
+}
+
+/// Stage count a member contributes to the fused depth.
+int stagesOf(const Node& n) { return n.op == Op::Fifo ? n.fifoDepth : 1; }
+
+/// The sole consumer arc of each producer, when it has exactly one.
+struct SoleUse {
+  int count = 0;
+  NodeId consumer{};
+  int port = 0;  ///< operand index, or dfg::kGatePort
+};
+
+std::vector<SoleUse> soleUses(const Graph& g) {
+  std::vector<SoleUse> uses(g.size());
+  const auto note = [&](const PortSrc& src, NodeId consumer, int port) {
+    if (!src.isArc()) return;
+    SoleUse& u = uses[src.producer.index];
+    ++u.count;
+    u.consumer = consumer;
+    u.port = port;
+  };
+  for (NodeId id : g.ids()) {
+    const Node& n = g.node(id);
+    for (std::size_t p = 0; p < n.inputs.size(); ++p)
+      note(n.inputs[p], id, static_cast<int>(p));
+    if (n.gate) note(*n.gate, id, dfg::kGatePort);
+  }
+  return uses;
+}
+
+}  // namespace
+
+Graph fuseFifos(const Graph& g, FusionStats* stats) {
+  const std::vector<SoleUse> uses = soleUses(g);
+
+  // The downstream chain member each node links to, if the link is fusable:
+  // sole consumer, data operand 0, Always tag, no load-time token, not a
+  // loop-closing back arc (fusing across one would make the chain look like
+  // a cycle to validation), both endpoints chainable.  Rigid arcs are fine —
+  // total depth is preserved, so fixed-length cycle arithmetic is unchanged.
+  std::vector<NodeId> next(g.size());
+  std::vector<bool> hasPrev(g.size(), false);
+  for (NodeId id : g.ids()) {
+    if (!chainable(g.node(id))) continue;
+    const SoleUse& u = uses[id.index];
+    if (u.count != 1 || u.port != 0) continue;
+    const Node& b = g.node(u.consumer);
+    if (!chainable(b)) continue;
+    const PortSrc& arc = b.inputs[0];
+    if (arc.tag != dfg::OutTag::Always || arc.feedback || arc.initial)
+      continue;
+    next[id.index] = u.consumer;
+    hasPrev[u.consumer.index] = true;
+  }
+
+  // Collect maximal chains: walk forward from each head (a chainable node
+  // with a fusable downstream link but no fusable upstream one).  Every
+  // member maps to the head's slot in the rebuilt graph; interior members
+  // and the tail vanish.
+  std::vector<NodeId> headOf(g.size());  ///< valid => member of a fused chain
+  std::vector<int> fusedDepth(g.size(), 0);
+  FusionStats fs;
+  fs.nodesBefore = g.size();
+  for (NodeId id : g.ids()) {
+    if (!next[id.index].valid() || hasPrev[id.index]) continue;
+    int depth = stagesOf(g.node(id));
+    std::size_t members = 1;
+    headOf[id.index] = id;
+    for (NodeId m = next[id.index]; ; m = next[m.index]) {
+      headOf[m.index] = id;
+      depth += stagesOf(g.node(m));
+      ++members;
+      if (!next[m.index].valid()) break;
+    }
+    VALPIPE_CHECK(depth >= 2);
+    fusedDepth[id.index] = depth;
+    ++fs.chainsFused;
+    fs.cellsAbsorbed += members - 1;
+  }
+
+  // Rebuild with the same two-pass id-remapping scheme as dfg::expandFifos.
+  // Pass 1: allocate new ids; a chain's every member maps to the fused node
+  // sitting in the head's position.
+  std::vector<NodeId> mapped(g.size());
+  std::uint32_t alloc = 0;
+  for (NodeId id : g.ids()) {
+    const NodeId head = headOf[id.index];
+    if (head.valid())
+      mapped[id.index] = head == id ? NodeId{alloc++} : NodeId{};  // later
+    else
+      mapped[id.index] = NodeId{alloc++};
+  }
+  for (NodeId id : g.ids())
+    if (headOf[id.index].valid())
+      mapped[id.index] = mapped[headOf[id.index].index];
+
+  const auto remap = [&](PortSrc src) {
+    if (src.isArc()) src.producer = mapped[src.producer.index];
+    return src;
+  };
+
+  // Pass 2: emit in order.  Consumers of a chain's tail now read the fused
+  // node; their operand flags (tag/rigid/feedback/initial) ride along via
+  // remap, as does the head's input arc with all of its flags.
+  Graph out;
+  for (NodeId id : g.ids()) {
+    const NodeId head = headOf[id.index];
+    if (head.valid() && head != id) continue;
+    Node copy;
+    if (head == id) {
+      const Node& h = g.node(id);
+      copy.op = Op::Fifo;
+      copy.fifoDepth = fusedDepth[id.index];
+      copy.inputs = {remap(h.inputs[0])};
+      copy.label = !h.label.empty() ? h.label : std::string("fifo");
+    } else {
+      copy = g.node(id);
+      for (PortSrc& in : copy.inputs) in = remap(in);
+      if (copy.gate) copy.gate = remap(*copy.gate);
+    }
+    const NodeId got = out.add(std::move(copy));
+    VALPIPE_CHECK(got == mapped[id.index]);
+  }
+
+  out = dfg::pruneDead(out);
+  fs.nodesAfter = out.size();
+  if (stats) *stats = fs;
+  return out;
+}
+
+}  // namespace valpipe::opt

@@ -1,0 +1,40 @@
+// Graph-optimization passes run between balancing and lowering.
+//
+// fuseFifos coalesces every maximal chain of buffering cells — adjacent
+// ungated Id and Fifo nodes linked point-to-point — into a single Op::Fifo
+// node whose fifoDepth is the chain's total stage count, then prunes cells
+// the rewrite left dead.  The machine layer fires such a node as one
+// composite ring-buffer cell (exec/fifo.hpp) with the expanded Id chain's
+// exact external timing: latency of `depth` stages, up to `depth` tokens in
+// flight, maximum rate one firing per two instruction times — but O(1)
+// cells, result packets and acknowledge packets per chain instead of
+// O(depth).  Outputs and output times are identical to the expanded graph;
+// only per-cell statistics differ (one cell stands for the whole chain).
+//
+// A link a -> b is fused only when it is provably equivalent to an interior
+// chain arc: `a`'s sole consumer arc is `b`'s single data operand, the arc
+// is Always-tagged, carries no load-time token, and is not a loop-closing
+// feedback arc.  Rigid arcs fuse freely — the composite preserves the
+// chain's total depth, so fixed-length cycle arithmetic is unchanged.
+#pragma once
+
+#include <cstddef>
+
+#include "dfg/graph.hpp"
+
+namespace valpipe::opt {
+
+/// What fuseFifos did, for valc --profile and the benches.
+struct FusionStats {
+  std::size_t chainsFused = 0;    ///< maximal chains coalesced (>= 2 members)
+  std::size_t cellsAbsorbed = 0;  ///< member nodes eliminated by coalescing
+  std::size_t nodesBefore = 0;    ///< graph size going in
+  std::size_t nodesAfter = 0;     ///< graph size after fusion + prune
+};
+
+/// Returns `g` with every fusable buffering chain collapsed to one Fifo
+/// node (see file comment).  Idempotent; the identity transform on graphs
+/// with no fusable chains.
+dfg::Graph fuseFifos(const dfg::Graph& g, FusionStats* stats = nullptr);
+
+}  // namespace valpipe::opt

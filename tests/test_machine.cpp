@@ -186,12 +186,18 @@ TEST(Machine, DeadlockReported) {
   EXPECT_NE(res.note.find("deadlock"), std::string::npos);
 }
 
-TEST(Machine, RejectsUnloweredGraphs) {
+// The engine accepts both lowerings of a FIFO: a composite Op::Fifo cell
+// runs directly (the fused path) and must match the expanded Id chain on
+// outputs and output times.
+TEST(Machine, CompositeFifoMatchesExpandedChain) {
   Graph g;
   const NodeId in = g.input("a", 4);
   g.output("out", g.fifo(Graph::out(in), 2));
-  EXPECT_THROW(simulate(g, MachineConfig::unit(), {{"a", ramp(4)}}, {}),
-               InternalError);
+  const auto fused = simulate(g, MachineConfig::unit(), {{"a", ramp(4)}}, {});
+  const auto expanded = simulate(dfg::expandFifos(g), MachineConfig::unit(),
+                                 {{"a", ramp(4)}}, {});
+  EXPECT_EQ(fused.outputs.at("out"), expanded.outputs.at("out"));
+  EXPECT_EQ(fused.outputTimes.at("out"), expanded.outputTimes.at("out"));
 }
 
 TEST(Machine, OutputTimesAreMonotone) {
