@@ -98,8 +98,36 @@ inline const char* schedulerName(machine::SchedulerKind k) {
     case machine::SchedulerKind::EventDriven: return "EventDriven";
     case machine::SchedulerKind::ParallelEventDriven:
       return "ParallelEventDriven";
+    case machine::SchedulerKind::Compiled: return "Compiled";
   }
   return "?";
+}
+
+/// Compiler + flags this binary was built with, as one human-readable
+/// string ("g++ 13.2.0, optimized, NDEBUG").  Stamped into every report so
+/// wall-clock numbers carry their build provenance.
+inline std::string buildOptions() {
+  std::string s;
+#if defined(__clang__)
+  s = "clang++ " __clang_version__;
+#elif defined(__GNUC__)
+  s = "g++ " + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) +
+      "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  s = "unknown-compiler";
+#endif
+#if defined(__OPTIMIZE__)
+  s += ", optimized";
+#else
+  s += ", unoptimized";
+#endif
+#if defined(NDEBUG)
+  s += ", NDEBUG";
+#else
+  s += ", assertions";
+#endif
+  s += ", C++" + std::to_string((__cplusplus / 100) % 100);
+  return s;
 }
 
 /// One JSON object built key by key (row of a BenchJson report).
@@ -139,9 +167,10 @@ struct JsonObj {
 };
 
 /// Machine-readable bench report: BENCH_<name>.json with the bench name,
-/// the host's hardware_concurrency and the scheduler kind stamped at top
-/// level (so numbers from a 1-core container read honestly), plus any extra
-/// top-level fields and an array of measurement rows.
+/// the host's hardware_concurrency, the scheduler kind, and the compile
+/// options stamped at top level (so numbers from a 1-core container or an
+/// unoptimized build read honestly), plus any extra top-level fields and an
+/// array of measurement rows.
 class BenchJson {
  public:
   explicit BenchJson(const std::string& bench,
@@ -152,6 +181,7 @@ class BenchJson {
     top_.add("hardware_concurrency",
              static_cast<std::int64_t>(std::thread::hardware_concurrency()));
     top_.add("scheduler", schedulerName(scheduler));
+    top_.add("build", buildOptions());
   }
 
   /// Extra top-level field (workload description, audit line, ...).

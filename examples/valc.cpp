@@ -14,6 +14,14 @@
 //     --lower-control                         counter loops for control seqs
 //     --dot                                   print Graphviz to stdout
 //     --run [waves]                           simulate with ramp inputs
+//     --scheduler KIND                        machine scheduler for --run:
+//                                             event | parallel | sync |
+//                                             reference | compiled (all
+//                                             bit-identical; compiled
+//                                             fast-forwards the steady state)
+//     --explain-schedule                      dump the static-schedule IR
+//                                             (hyper-period, per-cell slots,
+//                                             or the decline reason)
 //     --classify                              only report the program class
 //     --profile                               run + §3 audit + metrics JSON
 //     --trace FILE                            run + Chrome trace to FILE
@@ -36,9 +44,11 @@
 #include "dfg/dot.hpp"
 #include "dfg/lower.hpp"
 #include "dfg/stats.hpp"
+#include "exec/executable_graph.hpp"
 #include "fault/plan.hpp"
 #include "guard/guard.hpp"
 #include "machine/engine.hpp"
+#include "sched/schedule.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/rate_report.hpp"
@@ -52,7 +62,9 @@ namespace {
   std::fprintf(stderr,
                "usage: valc [--scheme S] [--forall F] [--balance B] [--skip K]"
                " [--batch N] [--routing R] [-O | --no-fuse] [--dot]"
-               " [--run [waves]] [--classify] [--profile] [--trace FILE]"
+               " [--run [waves]]"
+               " [--scheduler event|parallel|sync|reference|compiled]"
+               " [--explain-schedule] [--classify] [--profile] [--trace FILE]"
                " [--faults SPEC] [--guards] [--watchdog N] file.val\n");
   std::exit(2);
 }
@@ -64,6 +76,8 @@ int main(int argc, char** argv) {
   core::CompileOptions opts;
   bool fuse = true;  // -O / --no-fuse: how FIFOs are lowered before a run
   bool dot = false, classifyOnly = false, profile = false, guards = false;
+  bool explainSchedule = false;
+  core::SchedulerKind scheduler = core::SchedulerKind::EventDriven;
   int runWaves = 0;
   std::int64_t watchdog = 0;
   std::string path, tracePath, faultSpec;
@@ -118,6 +132,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--faults") {
       faultSpec = next();
       haveFaults = true;
+    } else if (arg == "--scheduler") {
+      const std::string s = next();
+      scheduler = s == "event"       ? core::SchedulerKind::EventDriven
+                  : s == "parallel"  ? core::SchedulerKind::ParallelEventDriven
+                  : s == "sync"      ? core::SchedulerKind::Synchronous
+                  : s == "reference" ? core::SchedulerKind::Reference
+                  : s == "compiled"  ? core::SchedulerKind::Compiled
+                                     : (usage(), core::SchedulerKind::EventDriven);
+    } else if (arg == "--explain-schedule") {
+      explainSchedule = true;
     } else if (arg == "--guards") {
       guards = true;
     } else if (arg == "--watchdog") {
@@ -189,6 +213,16 @@ int main(int argc, char** argv) {
       std::printf("  predicted rate %.3f\n", b.predictedRate);
     }
 
+    if (explainSchedule) {
+      // The IR is computed from the machine-ready (lowered) flat form — the
+      // same form the compiled scheduler sees.
+      const dfg::Graph lowered = fuse ? opt::fuseFifos(prog.graph)
+                                      : dfg::expandFifos(prog.graph);
+      const exec::ExecutableGraph eg(lowered);
+      const sched::SteadySchedule ss = sched::computeSteadySchedule(eg);
+      std::fputs(ss.explain(eg).c_str(), stdout);
+    }
+
     // --profile, --trace and the resilience flags need a run; give them one
     // wave if --run didn't.
     if ((profile || !tracePath.empty() || haveFaults || guards ||
@@ -233,6 +267,7 @@ int main(int argc, char** argv) {
       guard::Config gcfg;
       if (guards) ropts.guards = &gcfg;
       ropts.watchdog = watchdog;
+      ropts.scheduler = scheduler;
       const machine::MachineResult res =
           machine::simulate(lowered, machine::MachineConfig::unit(), streams,
                             ropts);
@@ -242,6 +277,21 @@ int main(int argc, char** argv) {
                   res.steadyRate(prog.outputName));
       if (const std::string injected = res.faults.str(); !injected.empty())
         std::printf("  injected: %s\n", injected.c_str());
+      if (scheduler == core::SchedulerKind::Compiled) {
+        const auto& ci = res.compiled;
+        if (ci.fastForwarded)
+          std::printf("  compiled: period %lld, fast-forwarded %lld windows"
+                      " = %lld instruction times (%llu firings%s)\n",
+                      static_cast<long long>(ci.detectedPeriod),
+                      static_cast<long long>(ci.windowsSkipped),
+                      static_cast<long long>(ci.cyclesSkipped),
+                      static_cast<unsigned long long>(ci.firingsSkipped),
+                      ci.vectorized ? ", vectorized" : "");
+        else
+          std::printf("  compiled: %s\n",
+                      ci.reason.empty() ? "no fast-forward taken"
+                                        : ci.reason.c_str());
+      }
 
       if (profile) {
         const obs::RateReport audit = obs::auditMaxPipelining(lowered, metrics);

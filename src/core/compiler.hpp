@@ -4,11 +4,13 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/options.hpp"
 #include "dfg/graph.hpp"
+#include "opt/fuse.hpp"
 #include "val/ast.hpp"
 #include "val/typecheck.hpp"
 #include "val/types.hpp"
@@ -44,6 +46,9 @@ struct CompiledProgram {
   /// Full output type (carries the 2-D column range when present).
   val::Type outputType;
   BalanceOutcome balance;
+  /// What the lowering phase's chain fusion did (core/phases.hpp); absent
+  /// until phases::lower runs with opts.lower && opts.fuseFifos.
+  std::optional<opt::FusionStats> fusion;
   std::vector<BlockReport> blocks;
   /// Element-interleave factor (1 except under the LongFifo scheme, where
   /// streams carry `interleave` independent instances per index).
@@ -68,6 +73,8 @@ struct CompiledProgram {
 
 /// Compiles a parsed-and-typechecked module.  Throws CompileError when the
 /// module falls outside the supported class or an option is inapplicable.
+/// Exactly the composition of the named phases in core/phases.hpp
+/// (buildGraph -> normalize -> balance -> lower).
 CompiledProgram compile(const val::Module& m, const CompileOptions& opts = {});
 
 /// Convenience: parse + typecheck + compile Val source.

@@ -40,6 +40,28 @@ enum class BalanceMode {
 /// (the conventional layout the 1/8-traffic claim is measured against).
 enum class ArrayRouting { Stream, Memory };
 
+/// Which machine scheduler executes the lowered graph.  Every kind is
+/// bit-identical in all MachineResult fields; they differ only in how the
+/// statically known schedule of §3 is (re)discovered at runtime.
+enum class SchedulerKind {
+  EventDriven,          ///< time wheel + ready queue (the default)
+  ParallelEventDriven,  ///< sharded event-driven across worker threads
+  Synchronous,          ///< full cell rescan per instruction time
+  Reference,            ///< naive reference stepper (oracle)
+  /// Steady-state backend over the sched::SteadySchedule IR: event-driven
+  /// fill/drain with the periodic middle fast-forwarded in bulk.  Falls back
+  /// to EventDriven (see CompiledFallback) when the schedule IR declines the
+  /// graph — gates, merges, feedback cycles, unbalanced reconvergence.
+  Compiled,
+};
+
+/// What SchedulerKind::Compiled does when sched::computeSteadySchedule
+/// declines the graph (or the run shape forces per-token execution).
+enum class CompiledFallback {
+  EventDriven,  ///< run EventDriven, record the reason in result.compiled
+  Error,        ///< throw sched::ScheduleDeclined
+};
+
 struct CompileOptions {
   ForallScheme forallScheme = ForallScheme::Pipeline;
   ForIterScheme forIterScheme = ForIterScheme::Auto;

@@ -1,0 +1,53 @@
+// Named phases of the compile pipeline.
+//
+// core::compile() used to be one monolithic function; the pipeline is now a
+// composition of explicitly named phases so tools (valc --profile,
+// --explain-schedule) and tests can observe or stop after any of them:
+//
+//   frontend   — parse + typecheck Val source into a val::Module
+//                (core/compiler.hpp; unchanged);
+//   buildGraph — classify the module's blocks (forall / for-iter) and apply
+//                the selected mapping schemes (§6/§7, Theorems 2–3), splicing
+//                the blocks' subgraphs along the acyclic flow dependency
+//                graph (Theorem 4);
+//   normalize  — prune unreachable cells and, on request, expand the
+//                BoolSeq/IndexSeq control generators into machine-level
+//                counter loops (Todd's construction);
+//   balance    — assign FIFO buffering so every reconvergent path pair has
+//                equal depth (§8), then validate the graph;
+//   lower      — resolve Op::Fifo sugar for the machine layer: fuse
+//                buffering chains into composite ring-buffer cells
+//                (opt::fuseFifos, recording opt::FusionStats in
+//                CompiledProgram::fusion) or expand them into identity
+//                chains (dfg::expandFifos).
+//
+// Downstream of these, the run layer flattens the graph into an
+// exec::ExecutableGraph, and the static-schedule IR (sched/schedule.hpp)
+// is computed from that flat form at run or inspect time — the core layer
+// deliberately does not depend on src/sched.
+//
+// compile() remains the one-call entry point and is exactly the composition
+// below; calling the phases individually must produce the same program.
+#pragma once
+
+#include "core/compiler.hpp"
+#include "core/options.hpp"
+#include "val/ast.hpp"
+
+namespace valpipe::core::phases {
+
+/// Classify + map + splice (Theorem 4).  The returned program's graph still
+/// carries control generators and unlowered FIFO sugar.
+CompiledProgram buildGraph(const val::Module& m, const CompileOptions& opts);
+
+/// Prune dead cells; expand control generators when opts.lowerControl.
+void normalize(CompiledProgram& p, const CompileOptions& opts);
+
+/// Balance reconvergent paths (§8, per opts.balanceMode) and validate.
+void balance(CompiledProgram& p, const CompileOptions& opts);
+
+/// Resolve FIFO sugar per opts.lower/opts.fuseFifos; records fusion
+/// statistics in p.fusion when the fusing path runs.
+void lower(CompiledProgram& p, const CompileOptions& opts);
+
+}  // namespace valpipe::core::phases

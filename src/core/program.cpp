@@ -1,10 +1,13 @@
-// Whole-program compilation (Theorem 4): splice the blocks' fully pipelined
-// subgraphs along the acyclic flow dependency graph, then balance the result.
+// Whole-program compilation (Theorem 4), phase-split per core/phases.hpp:
+// buildGraph splices the blocks' fully pipelined subgraphs along the acyclic
+// flow dependency graph; normalize / balance / lower then carry the result
+// to the machine-ready form.  compile() is the composition.
 #include <sstream>
 
 #include "core/balance.hpp"
 #include "core/block_compiler.hpp"
 #include "core/compiler.hpp"
+#include "core/phases.hpp"
 #include "core/schemes.hpp"
 #include "dfg/expand_ctl.hpp"
 #include "dfg/lower.hpp"
@@ -43,7 +46,9 @@ PortSrc ensureStream(Graph& g, const Module& m, const CompileOptions& opts,
 
 }  // namespace
 
-CompiledProgram compile(const Module& m, const CompileOptions& opts) {
+namespace phases {
+
+CompiledProgram buildGraph(const Module& m, const CompileOptions& opts) {
   if (auto r = val::isPipeStructured(m); !r)
     throw CompileError("not a pipe-structured program: " + r.reason);
   const bool longFifo = opts.forIterScheme == ForIterScheme::LongFifo;
@@ -130,17 +135,40 @@ CompiledProgram compile(const Module& m, const CompileOptions& opts) {
   out.outputRange = resultSrc.range;
   out.outputType = m.findBlock(m.resultName)->type;
   out.interleave = repl;
+  return out;
+}
 
-  if (opts.prune) out.graph = dfg::pruneDead(out.graph);
+void normalize(CompiledProgram& p, const CompileOptions& opts) {
+  if (opts.prune) p.graph = dfg::pruneDead(p.graph);
   if (opts.lowerControl) {
-    out.graph = dfg::expandControlGenerators(out.graph);
-    out.graph = dfg::pruneDead(out.graph);  // drop the stale generators
+    p.graph = dfg::expandControlGenerators(p.graph);
+    p.graph = dfg::pruneDead(p.graph);  // drop the stale generators
   }
-  out.balance = balanceGraph(out.graph, opts.balanceMode);
-  dfg::validateOrThrow(out.graph, /*requireAcyclic=*/true);
-  if (opts.lower)
-    out.graph = opts.fuseFifos ? opt::fuseFifos(out.graph)
-                               : dfg::expandFifos(out.graph);
+}
+
+void balance(CompiledProgram& p, const CompileOptions& opts) {
+  p.balance = balanceGraph(p.graph, opts.balanceMode);
+  dfg::validateOrThrow(p.graph, /*requireAcyclic=*/true);
+}
+
+void lower(CompiledProgram& p, const CompileOptions& opts) {
+  if (!opts.lower) return;
+  if (opts.fuseFifos) {
+    opt::FusionStats stats;
+    p.graph = opt::fuseFifos(p.graph, &stats);
+    p.fusion = stats;
+  } else {
+    p.graph = dfg::expandFifos(p.graph);
+  }
+}
+
+}  // namespace phases
+
+CompiledProgram compile(const Module& m, const CompileOptions& opts) {
+  CompiledProgram out = phases::buildGraph(m, opts);
+  phases::normalize(out, opts);
+  phases::balance(out, opts);
+  phases::lower(out, opts);
   return out;
 }
 

@@ -59,6 +59,15 @@ class FuPool {
   /// Busy instruction-times accumulated per class (for utilization).
   const std::array<std::uint64_t, 4>& busy() const { return busy_; }
 
+  /// Adds pre-computed busy time per class: the compiled scheduler accounts
+  /// the grants of its fast-forwarded hyper-periods in bulk (N windows times
+  /// the per-window busy delta it measured).  Only meaningful for unlimited
+  /// classes — limited pools carry per-unit freeAt state the bulk jump
+  /// cannot reconstruct, so the compiled scheduler refuses to jump on them.
+  void addBusy(const std::array<std::uint64_t, 4>& delta) {
+    for (std::size_t c = 0; c < 4; ++c) busy_[c] += delta[c];
+  }
+
  private:
   std::array<int, 4> latency_{};
   std::array<bool, 4> limited_{};

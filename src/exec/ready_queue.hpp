@@ -15,6 +15,7 @@
 // per event than a full rescan is cheap per cell.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +65,19 @@ class ReadyQueue {
   /// entry is scheduled before `t`.
   void advanceTo(std::int64_t t) {
     if (t > next_) next_ = t;
+  }
+
+  /// Forgets every scheduled wake and resets the cursor and dedupe stamps,
+  /// returning the wheel to its just-constructed state.  Used by the
+  /// compiled scheduler when it fast-forwards time in bulk: entries at
+  /// pre-jump times would otherwise alias post-jump buckets, so the pending
+  /// set is rebuilt from the schedule's wake mirror at the shifted times.
+  void clear() {
+    for (auto& b : buckets_) b.clear();
+    count_ = 0;
+    next_ = 0;
+    std::fill(lastWake_.begin(), lastWake_.end(), -1);
+    std::fill(seenAt_.begin(), seenAt_.end(), -1);
   }
 
   /// Pops every cell scheduled at nextTime() into `out`, deduplicated.

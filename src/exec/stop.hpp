@@ -42,6 +42,17 @@ class StopCondition {
       --remaining_;
   }
 
+  /// Records `n` delivered elements at once (the compiled scheduler's bulk
+  /// fast-forward).  Equivalent to `n` onOutput calls: the want threshold is
+  /// crossed at most once however large the batch.
+  void advance(std::int32_t slot, std::int64_t n) {
+    if (slot < 0 || n <= 0) return;
+    const auto i = static_cast<std::size_t>(slot);
+    const bool met = want_[i] > 0 && have_[i] >= want_[i];
+    have_[i] += n;
+    if (!met && want_[i] > 0 && have_[i] >= want_[i]) --remaining_;
+  }
+
   /// All expected outputs arrived (false when none were expected, matching
   /// the run-forever-until-quiescent contract).
   bool outputsComplete() const { return !want_.empty() && remaining_ == 0; }

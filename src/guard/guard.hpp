@@ -149,6 +149,32 @@ class LaneGuard {
     ++st_->consumed[slot];
   }
 
+  /// Re-validation checkpoint after SchedulerKind::Compiled fast-forwards
+  /// the run by whole hyper-periods.  The per-event hooks above never see
+  /// the skipped window — the engine advances the per-arc counters in bulk
+  /// (N windows times the per-window delta) — so without this hook --guards
+  /// would silently validate nothing across the jump.  The checkpoint
+  /// re-checks the *instantaneous* form of every configured invariant on
+  /// the advanced counters: per arc, acked <= sent <= acked + 1 (ack
+  /// balance / one active instance under the capacity-1 slot discipline)
+  /// and consumed <= delivered <= sent (token conservation).  Violations
+  /// are charged to the arc's producer cell.
+  void onCompiledCheckpoint(std::int64_t at) {
+    if (!st_) return;
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(st_->sent.size()); ++s) {
+      const std::uint32_t producer = eg_->operandAt(s).producer;
+      if (producer == exec::kNoProducer) continue;  // literal arc: no packets
+      if (cfg_->ackBalance && st_->sent[s] < st_->acked[s])
+        violate(Invariant::AckBalance, producer, s, at);
+      if (cfg_->oneActiveInstance && st_->sent[s] - st_->acked[s] > 1)
+        violate(Invariant::OneActiveInstance, producer, s, at);
+      if (cfg_->tokenConservation && (st_->delivered[s] > st_->sent[s] ||
+                                      st_->consumed[s] > st_->delivered[s]))
+        violate(Invariant::TokenConservation, producer, s, at);
+    }
+  }
+
   /// A composite FIFO cell fired (accept and/or emit applied; see
   /// exec/fifo.hpp).  The capacity-1 slot invariants above still govern the
   /// composite's own input and destination slots; this hook checks the

@@ -1,324 +1,35 @@
 // Timed machine simulation over the flattened exec::ExecutableGraph.
 //
-// The firing discipline (enabling test, firing effects, acknowledge
-// bookkeeping) lives in detail::EngineBase (machine/engine_impl.hpp) and is
-// shared with the parallel engine; this file supplies the single-threaded
-// event routing (one time wheel, one FU pool) and the two serial run loops:
+// The single-threaded lane (state, hooks, and both serial run loops) lives
+// in detail::SingleEngine (machine/engine_single.hpp); the firing discipline
+// it instantiates is detail::EngineBase (machine/engine_impl.hpp), shared
+// with the parallel engine.  This file supplies the MachineResult rate
+// helpers and the one simulate() entry point that dispatches on
+// RunOptions::scheduler:
 //
-//   runSynchronous  — rescans every cell each instruction time with rotating
-//                     priority, the original stepper's schedule on the flat
-//                     representation;
-//   runEventDriven  — examines only cells woken by an event (token arrival,
-//                     acknowledge, function-unit release, own-firing
-//                     completion, array-memory store), popped per instruction
-//                     time from exec::ReadyQueue and scanned in the same
-//                     rotating priority order.
-//
-// Both phases of an examined instruction time are kept two-phase (all
-// enabling decisions before any firing is applied), and candidate cells are
-// ordered exactly as the full rescan orders them, so every MachineResult
-// field — outputs, arrival times, per-cell firings, cycles, packet and
-// busy-time counters — is bit-identical across the schedulers and the
-// Reference stepper (machine/engine_reference.cpp).
+//   Reference           → machine/engine_reference.cpp (pointer-walking
+//                         oracle over dfg::Graph);
+//   ParallelEventDriven → machine/engine_parallel.cpp (sharded lanes);
+//   Synchronous         → SingleEngine::runSynchronous (full rescan);
+//   EventDriven         → SingleEngine::runEventDriven (time wheel);
+//   Compiled            → detail::runCompiled (machine/engine_compiled.cpp):
+//                         the event loop with a steady-state detector hooked
+//                         in, fast-forwarding whole periods through the
+//                         sched::SteadySchedule IR when the graph admits a
+//                         static schedule, falling back per
+//                         RunOptions::compiledFallback when it does not.
 #include "machine/engine.hpp"
 
-#include <algorithm>
-#include <optional>
+#include <utility>
 
-#include "exec/cell_state.hpp"
 #include "exec/executable_graph.hpp"
-#include "exec/fu_pool.hpp"
-#include "exec/ops.hpp"
-#include "exec/ready_queue.hpp"
-#include "exec/router.hpp"
-#include "exec/stop.hpp"
-#include "guard/diagnosis.hpp"
-#include "machine/engine_impl.hpp"
+#include "machine/engine_single.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "support/check.hpp"
 
 namespace valpipe::machine {
 
-using dfg::Op;
-using exec::Cell;
-using exec::CellDyn;
-using exec::Dest;
 using exec::ExecutableGraph;
-using exec::Operand;
-using exec::Slot;
-
-namespace {
-
-struct Engine : detail::EngineBase<Engine> {
-  std::vector<Slot> slotStore;
-  std::vector<CellDyn> dynStore;
-  std::vector<exec::FifoState> fifoStore;
-  exec::FuPool fu;
-  exec::StopCondition stop;
-  exec::ReadyQueue* rq = nullptr;  ///< set while running event-driven
-  const dfg::Graph* lowered = nullptr;  ///< for the stall diagnosis
-  std::optional<guard::State> gst;
-
-  MachineResult result;
-
-  Engine(const ExecutableGraph& graph, const MachineConfig& config,
-         const run::StreamMap& inputs, const RunOptions& o)
-      : EngineBase(graph, config, o),
-        slotStore(graph.slotCount()),
-        dynStore(graph.size()),
-        fifoStore(exec::makeFifoStates(graph)),
-        fu(config.fuUnits, config.execLatency),
-        stop(o.expectedOutputs) {
-    slots = slotStore.data();
-    cellDyn = dynStore.data();
-    fifoDyn = fifoStore.data();
-    if (opts.guards) {
-      gst.emplace(eg);
-      grd = guard::LaneGuard(opts.guards, &*gst, &eg);
-    }
-    result.firings.assign(eg.size(), 0);
-    firings = result.firings.data();
-    // Load-time tokens (counter-loop bootstraps): present at t = 0.
-    for (std::uint32_t s = 0; s < eg.slotCount(); ++s) {
-      const Operand& o2 = eg.operandAt(s);
-      if (o2.hasInitial) {
-        slots[s].full = true;
-        slots[s].v = o2.initial;
-      }
-    }
-    amFinal = opts.amInitial;
-    // Fetched regions must exist even when nothing is pre-loaded (stores
-    // fill them during the run); resolve stream bindings once.
-    for (std::uint32_t c = 0; c < eg.size(); ++c) {
-      const Cell& cl = eg.cell(c);
-      if (cl.op == Op::AmFetch) amFinal[eg.streamName(cl)];
-    }
-    for (std::uint32_t c = 0; c < eg.size(); ++c)
-      bindCell(c, inputs,
-               [this](const std::string& name) { return stop.slotFor(name); });
-    if (opts.placement) {
-      VALPIPE_CHECK_MSG(opts.placement->peOf.size() == eg.size(),
-                        "placement does not match the graph");
-      router = exec::Router(opts.placement->peOf, opts.placement->peCount,
-                            cfg.interPeDelay);
-    }
-  }
-
-  // --- event-routing hooks: everything is lane-local ----------------------
-
-  void wake(std::uint32_t cell, std::int64_t at) {
-    if (rq) rq->wake(cell, at);
-  }
-  bool destFree(const Dest& d) const { return slotFree(slots[d.slot]); }
-  void deliverOne(const Dest& d, const Value& v, std::int64_t at,
-                  std::int64_t wakeAt) {
-    deliverLocal(d, v, at, wakeAt);
-  }
-  void ackProducer(std::uint32_t producer, std::uint32_t slot,
-                   std::int64_t /*freedAt*/, std::int64_t wakeAt) {
-    grd.onAck(producer, slot, now);
-    wake(producer, wakeAt);
-  }
-  void onOutput(std::int32_t stopSlot) { stop.onOutput(stopSlot); }
-
-  /// The run-length cap: maxInstructionTimes tightens maxCycles when set.
-  std::int64_t capCycles() const {
-    return opts.maxInstructionTimes > 0
-               ? std::min(opts.maxInstructionTimes, opts.maxCycles)
-               : opts.maxCycles;
-  }
-
-  /// Idle window after which the machine is declared stuck: the natural
-  /// settle window, or the caller's watchdog if that is longer.
-  std::int64_t idleWindow() const {
-    return opts.watchdog > 0 ? std::max(settleWindow(), opts.watchdog)
-                             : settleWindow();
-  }
-
-  [[noreturn]] void throwStall(const char* why) {
-    std::vector<guard::OutputProgress> progress;
-    for (std::size_t i = 0; i < stop.size(); ++i)
-      progress.push_back({stop.name(i), stop.want(i), stop.have(i)});
-    throw run::StallError(
-        now, guard::diagnoseStall(why, lowered, eg, slots, cellDyn, now,
-                                  progress, inj.counters));
-  }
-
-  void finish() {
-    if (!result.completed && opts.maxInstructionTimes > 0 &&
-        now >= capCycles() && !stop.quiescentOk())
-      throwStall("instruction-time cap reached with outputs incomplete");
-    if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
-    result.faults = inj.counters;
-    result.cycles = now;
-    result.fuBusy = fu.busy();
-    if (router.active()) result.pePackets = router.pePackets();
-    result.outputs = std::move(outputs);
-    result.outputTimes = std::move(outputTimes);
-    result.amFinal = std::move(amFinal);
-    result.totalFirings = totalFirings;
-    result.packets = packets;
-  }
-
-  /// Original schedule: rescan all cells each instruction time with rotating
-  /// priority for fairness under FU contention.
-  void runSynchronous() {
-    const std::size_t n = eg.size();
-    std::vector<std::uint32_t> toFire;
-    toFire.reserve(n);
-    const std::int64_t window = idleWindow();
-    const std::int64_t floorTime = inj.quiesceFloor();
-    const std::int64_t cap = capCycles();
-    std::int64_t idle = 0;
-
-    for (now = 0; now < cap; ++now) {
-      toFire.clear();
-      const std::size_t start =
-          n == 0 ? 0 : static_cast<std::size_t>(now) % n;
-      for (std::size_t k = 0; k < n; ++k) {
-        const auto id = static_cast<std::uint32_t>((start + k) % n);
-        if (!enabled(id)) continue;
-        const dfg::FuClass fc = eg.cell(id).fu;
-        if (const std::int64_t until = inj.outageUntil(fc, now); until > now) {
-          probe.denied(id, now, until);
-          continue;
-        }
-        if (!fu.tryGrant(fc, now)) {
-          probe.denied(id, now, fu.nextFree(fc));
-          continue;
-        }
-        toFire.push_back(id);
-      }
-      for (std::uint32_t id : toFire) fire(id);
-
-      if (stop.outputsComplete()) {
-        result.completed = true;
-        ++now;
-        break;
-      }
-      idle = toFire.empty() ? idle + 1 : 0;
-      if (idle > window && now >= floorTime) {
-        result.completed = stop.quiescentOk();
-        if (!result.completed) {
-          if (opts.watchdog > 0)
-            throwStall("watchdog: no cell fired within the idle window");
-          result.note = "deadlock: outputs incomplete";
-        }
-        break;
-      }
-    }
-    finish();
-  }
-
-  /// Event-driven schedule: advance directly to the next instruction time
-  /// with a woken cell; candidates are examined in the same rotating order
-  /// the rescan would use, so the two loops stay bit-identical.
-  void runEventDriven() {
-    const std::size_t n = eg.size();
-    const std::int64_t window = idleWindow();
-    const std::int64_t floorTime = inj.quiesceFloor();
-    const std::int64_t cap = capCycles();
-    const std::int64_t hzn = wakeHorizon();
-    exec::ReadyQueue queue(n, hzn);
-    rq = &queue;
-    for (std::uint32_t c = 0; c < n; ++c) queue.wake(c, 0);
-
-    std::vector<std::uint32_t> cand;
-    std::vector<std::uint32_t> ordered;
-    std::vector<std::uint32_t> toFire;
-    cand.reserve(n);
-    ordered.reserve(n);
-    toFire.reserve(n);
-    std::vector<std::int64_t> candAt(n, -1);  ///< stamp for dense ordering
-    std::int64_t lastFire = -1;  // so the first quiescence break lands at
-                                 // `settle`, like an all-idle rescan
-    for (;;) {
-      const std::int64_t tQuiesce =
-          std::max(lastFire, floorTime) + window + 1;
-      if (queue.empty() || queue.nextTime() > tQuiesce) {
-        // Nothing can fire before the idle counter trips.
-        if (tQuiesce >= cap) {
-          now = cap;
-          break;
-        }
-        now = tQuiesce;
-        result.completed = stop.quiescentOk();
-        if (!result.completed) {
-          if (opts.watchdog > 0)
-            throwStall("watchdog: no cell fired within the idle window");
-          result.note = "deadlock: outputs incomplete";
-        }
-        break;
-      }
-      if (queue.nextTime() >= cap) {
-        now = cap;
-        break;
-      }
-      now = queue.pop(cand);
-
-      // Rotating priority: same scan order as the rescan starting at now % n.
-      const std::uint32_t start =
-          static_cast<std::uint32_t>(static_cast<std::size_t>(now) % n);
-      if (cand.size() * 8 >= n) {
-        // Dense step: stamp the candidates and collect them by one pass in
-        // rotation order — cheaper than sorting when most cells are awake.
-        for (std::uint32_t id : cand) candAt[id] = now;
-        ordered.clear();
-        for (std::size_t k = 0; k < n; ++k) {
-          const auto id = static_cast<std::uint32_t>(
-              (start + k) % static_cast<std::uint32_t>(n));
-          if (candAt[id] == now) ordered.push_back(id);
-        }
-        cand.swap(ordered);
-      } else {
-        std::sort(cand.begin(), cand.end(),
-                  [start, n](std::uint32_t a, std::uint32_t b) {
-                    const std::uint32_t ra =
-                        a >= start ? a - start
-                                   : a + static_cast<std::uint32_t>(n) - start;
-                    const std::uint32_t rb =
-                        b >= start ? b - start
-                                   : b + static_cast<std::uint32_t>(n) - start;
-                    return ra < rb;
-                  });
-      }
-      // Phase A: enabling + FU grants against start-of-cycle state.
-      toFire.clear();
-      for (std::uint32_t id : cand) {
-        if (!enabled(id)) continue;
-        const dfg::FuClass fc = eg.cell(id).fu;
-        if (const std::int64_t until = inj.outageUntil(fc, now); until > now) {
-          // Denied by a transient outage: retry at its end (chained through
-          // the wheel horizon when the outage outlasts it).
-          probe.denied(id, now, until);
-          wake(id, std::min(until, now + hzn));
-          continue;
-        }
-        if (fu.tryGrant(fc, now)) {
-          toFire.push_back(id);
-        } else {
-          const std::int64_t freeAt = fu.nextFree(fc);
-          probe.denied(id, now, freeAt);
-          wake(id, freeAt);  // retry when a unit frees
-        }
-      }
-      // Phase B: apply.
-      for (std::uint32_t id : toFire) fire(id);
-
-      if (!toFire.empty()) lastFire = now;
-      if (stop.outputsComplete()) {
-        result.completed = true;
-        ++now;
-        break;
-      }
-    }
-    rq = nullptr;
-    finish();
-  }
-};
-
-}  // namespace
 
 double MachineResult::overallRate(const std::string& stream) const {
   auto it = outputTimes.find(stream);
@@ -348,19 +59,27 @@ MachineResult simulate(const dfg::Graph& lowered, const MachineConfig& cfg,
   const ExecutableGraph eg(lowered);
   if (opts.scheduler == SchedulerKind::ParallelEventDriven)
     return detail::simulateParallel(lowered, eg, cfg, inputs, opts);
-  Engine engine(eg, cfg, inputs, opts);
+  detail::SingleEngine engine(eg, cfg, inputs, opts);
   engine.lowered = &lowered;
-  const bool sync = opts.scheduler == SchedulerKind::Synchronous;
+  const char* label = "EventDriven";
   if (opts.trace) opts.trace->begin(1, detail::traceMetaFor(lowered, opts));
   if (opts.metrics) opts.metrics->begin(1, eg.size());
   engine.probe = obs::LaneProbe(opts.trace, opts.metrics, 0);
-  if (sync)
-    engine.runSynchronous();
-  else
-    engine.runEventDriven();
+  switch (opts.scheduler) {
+    case SchedulerKind::Synchronous:
+      label = "Synchronous";
+      engine.runSynchronous();
+      break;
+    case SchedulerKind::Compiled:
+      label = "Compiled";
+      detail::runCompiled(engine);
+      break;
+    default:
+      engine.runEventDriven();
+      break;
+  }
   if (opts.metrics)
-    opts.metrics->finishRun(sync ? "Synchronous" : "EventDriven",
-                            engine.result.cycles, engine.result.fuBusy);
+    opts.metrics->finishRun(label, engine.result.cycles, engine.result.fuBusy);
   if (opts.trace) opts.trace->seal();
   return std::move(engine.result);
 }

@@ -9,7 +9,7 @@
 // of one firing per two instruction times under the unit profile, and k/S for
 // a feedback cycle of S stages carrying a dependence distance of k.
 //
-// The simulator runs on a flattened exec::ExecutableGraph and offers four
+// The simulator runs on a flattened exec::ExecutableGraph and offers five
 // schedulers with bit-identical results:
 //   - EventDriven (default): a cell is re-examined only when a token arrives,
 //     an acknowledge frees a destination, a function unit frees, or its own
@@ -24,7 +24,11 @@
 //     representation (diagnostic middle ground);
 //   - Reference: the original pointer-walking stepper over dfg::Graph, kept
 //     verbatim as the verification oracle and bench baseline (selected via
-//     RunOptions::scheduler — the one way to pick a scheduler).
+//     RunOptions::scheduler — the one way to pick a scheduler);
+//   - Compiled: the steady-state backend over the sched::SteadySchedule IR —
+//     event-driven fill and drain with the periodic middle of the run
+//     fast-forwarded whole hyper-periods at a time (machine/engine_compiled),
+//     falling back to EventDriven when the schedule IR declines the graph.
 //
 // The graph must carry no unresolved sugar beyond Op::Fifo, which the
 // simulator accepts in either lowered form: expanded into an Id chain
@@ -42,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "core/options.hpp"
 #include "dfg/graph.hpp"
 #include "exec/packet_counters.hpp"
 #include "fault/plan.hpp"
@@ -55,14 +60,11 @@ namespace valpipe::machine {
 /// Packet traffic counters (§2's packet communication architecture).
 using PacketCounters = exec::PacketCounters;
 
-/// Which scheduler drives the simulation.  All produce identical results;
-/// they differ only in how much work they spend finding enabled cells.
-enum class SchedulerKind {
-  EventDriven,  ///< ready-queue scheduler over the flattened graph (default)
-  ParallelEventDriven,  ///< the event-driven schedule sharded across threads
-  Synchronous,  ///< full rescan each instruction time, flattened graph
-  Reference,    ///< the original dfg::Graph stepper (verification oracle)
-};
+/// Which scheduler drives the simulation (core/options.hpp, so compile-time
+/// tooling can name a scheduler without linking the machine).  All kinds
+/// produce identical results; they differ only in how much work they spend
+/// rediscovering the statically known schedule.
+using SchedulerKind = core::SchedulerKind;
 
 /// Machine-run options: the shared run vocabulary (waves, amInitial,
 /// maxCycles) plus the timed-engine knobs.
@@ -77,6 +79,8 @@ struct RunOptions : run::RunOptions {
   /// Worker-thread (= shard) count for ParallelEventDriven; 0 picks a
   /// default from the hardware.  Results are identical for every count.
   int threads = 0;
+  /// What SchedulerKind::Compiled does on a declined graph.
+  core::CompiledFallback compiledFallback = core::CompiledFallback::EventDriven;
 };
 
 struct MachineResult {
@@ -96,6 +100,24 @@ struct MachineResult {
   std::vector<std::uint64_t> pePackets;
   /// What the fault injector did (all zero without a fault::Plan).
   fault::Counters faults;
+
+  /// What SchedulerKind::Compiled did.  Deliberately NOT part of the
+  /// scheduler-equivalence contract (testing.hpp expectIdentical): the
+  /// compared fields above stay bit-identical across kinds, this one
+  /// describes the mechanism.
+  struct CompiledInfo {
+    bool requested = false;      ///< run asked for SchedulerKind::Compiled
+    bool accepted = false;       ///< the schedule IR accepted the graph
+    bool fastForwarded = false;  ///< >= 1 steady-state jump actually taken
+    bool vectorized = false;     ///< value loop ran the all-real fast path
+    std::string reason;          ///< decline / no-jump diagnostic ("" if none)
+    std::int64_t hyperPeriod = 0;      ///< static IR period (unit profile)
+    std::int64_t detectedPeriod = 0;   ///< measured steady period (cycles)
+    std::int64_t windowsSkipped = 0;   ///< hyper-periods fast-forwarded
+    std::int64_t cyclesSkipped = 0;    ///< instruction times fast-forwarded
+    std::uint64_t firingsSkipped = 0;  ///< firings accounted in bulk
+  };
+  CompiledInfo compiled;
 
   /// Results per instruction time over the whole run for `stream`.
   double overallRate(const std::string& stream) const;

@@ -1,0 +1,350 @@
+// Single-threaded engine lane over the flattened exec::ExecutableGraph.
+//
+// The firing discipline (enabling test, firing effects, acknowledge
+// bookkeeping) lives in detail::EngineBase (machine/engine_impl.hpp) and is
+// shared with the parallel engine; SingleEngine supplies the single-threaded
+// event routing (one time wheel, one FU pool) and the two serial run loops:
+//
+//   runSynchronous — rescans every cell each instruction time with rotating
+//                    priority, the original stepper's schedule on the flat
+//                    representation;
+//   runEventLoop   — examines only cells woken by an event (token arrival,
+//                    acknowledge, function-unit release, own-firing
+//                    completion, array-memory store), popped per instruction
+//                    time from exec::ReadyQueue and scanned in the same
+//                    rotating priority order.  runEventDriven is the plain
+//                    instantiation; the compiled scheduler
+//                    (machine/engine_compiled.cpp) instantiates it with a
+//                    per-step hook that watches for a steady state and
+//                    fast-forwards the run by whole periods.
+//
+// Both phases of an examined instruction time are kept two-phase (all
+// enabling decisions before any firing is applied), and candidate cells are
+// ordered exactly as the full rescan orders them, so every MachineResult
+// field — outputs, arrival times, per-cell firings, cycles, packet and
+// busy-time counters — is bit-identical across the schedulers and the
+// Reference stepper (machine/engine_reference.cpp).
+//
+// This header is internal to src/machine (it is not part of the public
+// simulate() surface); it exists so engine_compiled.cpp can drive the same
+// lane that engine.cpp's dispatch constructs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/cell_state.hpp"
+#include "exec/executable_graph.hpp"
+#include "exec/fu_pool.hpp"
+#include "exec/ready_queue.hpp"
+#include "exec/router.hpp"
+#include "exec/stop.hpp"
+#include "guard/diagnosis.hpp"
+#include "machine/engine.hpp"
+#include "machine/engine_impl.hpp"
+#include "support/check.hpp"
+
+namespace valpipe::machine::detail {
+
+struct SingleEngine : EngineBase<SingleEngine> {
+  std::vector<exec::Slot> slotStore;
+  std::vector<exec::CellDyn> dynStore;
+  std::vector<exec::FifoState> fifoStore;
+  exec::FuPool fu;
+  exec::StopCondition stop;
+  exec::ReadyQueue* rq = nullptr;  ///< set while running event-driven
+  const dfg::Graph* lowered = nullptr;  ///< for the stall diagnosis
+  std::optional<guard::State> gst;
+
+  /// When set, every wake() is also appended here (cell, at).  The compiled
+  /// scheduler mirrors the wheel's pending set through this log so it can
+  /// rebuild the wheel — shifted in time — after a bulk fast-forward.
+  std::vector<std::pair<std::uint32_t, std::int64_t>>* wakeLog = nullptr;
+
+  /// Instruction time of the most recent firing (-1 before any), maintained
+  /// by runEventLoop; part of the quiescence decision and therefore part of
+  /// the state a fast-forward must advance.
+  std::int64_t lastFire_ = -1;
+
+  MachineResult result;
+
+  SingleEngine(const exec::ExecutableGraph& graph, const MachineConfig& config,
+               const run::StreamMap& inputs, const RunOptions& o)
+      : EngineBase(graph, config, o),
+        slotStore(graph.slotCount()),
+        dynStore(graph.size()),
+        fifoStore(exec::makeFifoStates(graph)),
+        fu(config.fuUnits, config.execLatency),
+        stop(o.expectedOutputs) {
+    slots = slotStore.data();
+    cellDyn = dynStore.data();
+    fifoDyn = fifoStore.data();
+    if (opts.guards) {
+      gst.emplace(eg);
+      grd = guard::LaneGuard(opts.guards, &*gst, &eg);
+    }
+    result.firings.assign(eg.size(), 0);
+    firings = result.firings.data();
+    // Load-time tokens (counter-loop bootstraps): present at t = 0.
+    for (std::uint32_t s = 0; s < eg.slotCount(); ++s) {
+      const exec::Operand& o2 = eg.operandAt(s);
+      if (o2.hasInitial) {
+        slots[s].full = true;
+        slots[s].v = o2.initial;
+      }
+    }
+    amFinal = opts.amInitial;
+    // Fetched regions must exist even when nothing is pre-loaded (stores
+    // fill them during the run); resolve stream bindings once.
+    for (std::uint32_t c = 0; c < eg.size(); ++c) {
+      const exec::Cell& cl = eg.cell(c);
+      if (cl.op == dfg::Op::AmFetch) amFinal[eg.streamName(cl)];
+    }
+    for (std::uint32_t c = 0; c < eg.size(); ++c)
+      bindCell(c, inputs,
+               [this](const std::string& name) { return stop.slotFor(name); });
+    if (opts.placement) {
+      VALPIPE_CHECK_MSG(opts.placement->peOf.size() == eg.size(),
+                        "placement does not match the graph");
+      router = exec::Router(opts.placement->peOf, opts.placement->peCount,
+                            cfg.interPeDelay);
+    }
+  }
+
+  // --- event-routing hooks: everything is lane-local ----------------------
+
+  void wake(std::uint32_t cell, std::int64_t at) {
+    if (rq) rq->wake(cell, at);
+    if (wakeLog) wakeLog->emplace_back(cell, at);
+  }
+  bool destFree(const exec::Dest& d) const { return slotFree(slots[d.slot]); }
+  void deliverOne(const exec::Dest& d, const Value& v, std::int64_t at,
+                  std::int64_t wakeAt) {
+    deliverLocal(d, v, at, wakeAt);
+  }
+  void ackProducer(std::uint32_t producer, std::uint32_t slot,
+                   std::int64_t /*freedAt*/, std::int64_t wakeAt) {
+    grd.onAck(producer, slot, now);
+    wake(producer, wakeAt);
+  }
+  void onOutput(std::int32_t stopSlot) { stop.onOutput(stopSlot); }
+
+  /// The run-length cap: maxInstructionTimes tightens maxCycles when set.
+  std::int64_t capCycles() const {
+    return opts.maxInstructionTimes > 0
+               ? std::min(opts.maxInstructionTimes, opts.maxCycles)
+               : opts.maxCycles;
+  }
+
+  /// Idle window after which the machine is declared stuck: the natural
+  /// settle window, or the caller's watchdog if that is longer.
+  std::int64_t idleWindow() const {
+    return opts.watchdog > 0 ? std::max(settleWindow(), opts.watchdog)
+                             : settleWindow();
+  }
+
+  [[noreturn]] void throwStall(const char* why) {
+    std::vector<guard::OutputProgress> progress;
+    for (std::size_t i = 0; i < stop.size(); ++i)
+      progress.push_back({stop.name(i), stop.want(i), stop.have(i)});
+    throw run::StallError(
+        now, guard::diagnoseStall(why, lowered, eg, slots, cellDyn, now,
+                                  progress, inj.counters));
+  }
+
+  void finish() {
+    if (!result.completed && opts.maxInstructionTimes > 0 &&
+        now >= capCycles() && !stop.quiescentOk())
+      throwStall("instruction-time cap reached with outputs incomplete");
+    if (now >= opts.maxCycles) result.note = "maxCycles exceeded";
+    result.faults = inj.counters;
+    result.cycles = now;
+    result.fuBusy = fu.busy();
+    if (router.active()) result.pePackets = router.pePackets();
+    result.outputs = std::move(outputs);
+    result.outputTimes = std::move(outputTimes);
+    result.amFinal = std::move(amFinal);
+    result.totalFirings = totalFirings;
+    result.packets = packets;
+  }
+
+  /// Original schedule: rescan all cells each instruction time with rotating
+  /// priority for fairness under FU contention.
+  void runSynchronous() {
+    const std::size_t n = eg.size();
+    std::vector<std::uint32_t> toFire;
+    toFire.reserve(n);
+    const std::int64_t window = idleWindow();
+    const std::int64_t floorTime = inj.quiesceFloor();
+    const std::int64_t cap = capCycles();
+    std::int64_t idle = 0;
+
+    for (now = 0; now < cap; ++now) {
+      toFire.clear();
+      const std::size_t start =
+          n == 0 ? 0 : static_cast<std::size_t>(now) % n;
+      for (std::size_t k = 0; k < n; ++k) {
+        const auto id = static_cast<std::uint32_t>((start + k) % n);
+        if (!enabled(id)) continue;
+        const dfg::FuClass fc = eg.cell(id).fu;
+        if (const std::int64_t until = inj.outageUntil(fc, now); until > now) {
+          probe.denied(id, now, until);
+          continue;
+        }
+        if (!fu.tryGrant(fc, now)) {
+          probe.denied(id, now, fu.nextFree(fc));
+          continue;
+        }
+        toFire.push_back(id);
+      }
+      for (std::uint32_t id : toFire) fire(id);
+
+      if (stop.outputsComplete()) {
+        result.completed = true;
+        ++now;
+        break;
+      }
+      idle = toFire.empty() ? idle + 1 : 0;
+      if (idle > window && now >= floorTime) {
+        result.completed = stop.quiescentOk();
+        if (!result.completed) {
+          if (opts.watchdog > 0)
+            throwStall("watchdog: no cell fired within the idle window");
+          result.note = "deadlock: outputs incomplete";
+        }
+        break;
+      }
+    }
+    finish();
+  }
+
+  /// Event-driven schedule: advance directly to the next instruction time
+  /// with a woken cell; candidates are examined in the same rotating order
+  /// the rescan would use, so the two loops stay bit-identical.
+  ///
+  /// `afterStep(toFire)` runs once per examined instruction time, after
+  /// phase B (and the lastFire_ update) and before the completion check.
+  /// The hook may mutate the whole engine — including `now` and the wheel —
+  /// which is exactly what the compiled scheduler's fast-forward does; the
+  /// plain event-driven run passes a no-op that the compiler erases.
+  template <class StepHook>
+  void runEventLoop(StepHook&& afterStep) {
+    const std::size_t n = eg.size();
+    const std::int64_t window = idleWindow();
+    const std::int64_t floorTime = inj.quiesceFloor();
+    const std::int64_t cap = capCycles();
+    const std::int64_t hzn = wakeHorizon();
+    exec::ReadyQueue queue(n, hzn);
+    rq = &queue;
+    for (std::uint32_t c = 0; c < n; ++c) wake(c, 0);
+
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ordered;
+    std::vector<std::uint32_t> toFire;
+    cand.reserve(n);
+    ordered.reserve(n);
+    toFire.reserve(n);
+    std::vector<std::int64_t> candAt(n, -1);  ///< stamp for dense ordering
+    lastFire_ = -1;  // so the first quiescence break lands at `settle`, like
+                     // an all-idle rescan
+    for (;;) {
+      const std::int64_t tQuiesce =
+          std::max(lastFire_, floorTime) + window + 1;
+      if (queue.empty() || queue.nextTime() > tQuiesce) {
+        // Nothing can fire before the idle counter trips.
+        if (tQuiesce >= cap) {
+          now = cap;
+          break;
+        }
+        now = tQuiesce;
+        result.completed = stop.quiescentOk();
+        if (!result.completed) {
+          if (opts.watchdog > 0)
+            throwStall("watchdog: no cell fired within the idle window");
+          result.note = "deadlock: outputs incomplete";
+        }
+        break;
+      }
+      if (queue.nextTime() >= cap) {
+        now = cap;
+        break;
+      }
+      now = queue.pop(cand);
+
+      // Rotating priority: same scan order as the rescan starting at now % n.
+      const std::uint32_t start =
+          static_cast<std::uint32_t>(static_cast<std::size_t>(now) % n);
+      if (cand.size() * 8 >= n) {
+        // Dense step: stamp the candidates and collect them by one pass in
+        // rotation order — cheaper than sorting when most cells are awake.
+        for (std::uint32_t id : cand) candAt[id] = now;
+        ordered.clear();
+        for (std::size_t k = 0; k < n; ++k) {
+          const auto id = static_cast<std::uint32_t>(
+              (start + k) % static_cast<std::uint32_t>(n));
+          if (candAt[id] == now) ordered.push_back(id);
+        }
+        cand.swap(ordered);
+      } else {
+        std::sort(cand.begin(), cand.end(),
+                  [start, n](std::uint32_t a, std::uint32_t b) {
+                    const std::uint32_t ra =
+                        a >= start ? a - start
+                                   : a + static_cast<std::uint32_t>(n) - start;
+                    const std::uint32_t rb =
+                        b >= start ? b - start
+                                   : b + static_cast<std::uint32_t>(n) - start;
+                    return ra < rb;
+                  });
+      }
+      // Phase A: enabling + FU grants against start-of-cycle state.
+      toFire.clear();
+      for (std::uint32_t id : cand) {
+        if (!enabled(id)) continue;
+        const dfg::FuClass fc = eg.cell(id).fu;
+        if (const std::int64_t until = inj.outageUntil(fc, now); until > now) {
+          // Denied by a transient outage: retry at its end (chained through
+          // the wheel horizon when the outage outlasts it).
+          probe.denied(id, now, until);
+          wake(id, std::min(until, now + hzn));
+          continue;
+        }
+        if (fu.tryGrant(fc, now)) {
+          toFire.push_back(id);
+        } else {
+          const std::int64_t freeAt = fu.nextFree(fc);
+          probe.denied(id, now, freeAt);
+          wake(id, freeAt);  // retry when a unit frees
+        }
+      }
+      // Phase B: apply.
+      for (std::uint32_t id : toFire) fire(id);
+
+      if (!toFire.empty()) lastFire_ = now;
+      afterStep(toFire);
+      if (stop.outputsComplete()) {
+        result.completed = true;
+        ++now;
+        break;
+      }
+    }
+    rq = nullptr;
+    finish();
+  }
+
+  void runEventDriven() {
+    runEventLoop([](const std::vector<std::uint32_t>&) {});
+  }
+};
+
+/// SchedulerKind::Compiled driver (machine/engine_compiled.cpp): computes
+/// the sched::SteadySchedule IR, runs the event loop with a steady-state
+/// detector hooked in, and fast-forwards whole periods when it can.  Fills
+/// e.result (including result.compiled) exactly like runEventDriven fills
+/// the shared fields.
+void runCompiled(SingleEngine& e);
+
+}  // namespace valpipe::machine::detail

@@ -11,8 +11,12 @@
 #include "core/compiler.hpp"
 #include "dfg/lower.hpp"
 #include "generators.hpp"
+#include "guard/guard.hpp"
 #include "machine/engine.hpp"
 #include "machine/placement.hpp"
+#include "obs/metrics.hpp"
+#include "opt/fuse.hpp"
+#include "sched/schedule.hpp"
 #include "testing.hpp"
 #include "val/eval.hpp"
 
@@ -31,8 +35,11 @@ using testing::randomArray;
 
 using testing::expectIdentical;
 
-/// Runs all three schedulers on the same workload and checks the flattened
-/// ones against the reference stepper field-by-field.
+/// Runs all four single-threaded schedulers on the same workload and checks
+/// the flattened ones against the reference stepper field-by-field.  The
+/// Compiled scheduler rides along on every workload: accepted graphs take
+/// the fast-forward path, everything else exercises its fallback paths —
+/// either way the result must stay bit-identical.
 MachineResult runAllSchedulers(const dfg::Graph& lowered,
                                const MachineConfig& cfg,
                                const run::StreamMap& in, RunOptions opts,
@@ -43,8 +50,12 @@ MachineResult runAllSchedulers(const dfg::Graph& lowered,
   const MachineResult ed = machine::simulate(lowered, cfg, in, opts);
   opts.scheduler = SchedulerKind::Synchronous;
   const MachineResult sync = machine::simulate(lowered, cfg, in, opts);
+  opts.scheduler = SchedulerKind::Compiled;
+  const MachineResult cp = machine::simulate(lowered, cfg, in, opts);
   expectIdentical(ed, ref, what + " [event-driven vs reference]");
   expectIdentical(sync, ref, what + " [synchronous vs reference]");
+  expectIdentical(cp, ref, what + " [compiled vs reference]");
+  EXPECT_TRUE(cp.compiled.requested) << what;
   return ref;
 }
 
@@ -195,6 +206,198 @@ TEST(SchedulerEquivalence, ForIterSchemesSustainPredictedRates) {
     const auto res = testing::checkMachine(prog, in, ref.result.elems, 1e-6, 1,
                                            predicted - 0.05, predicted);
     EXPECT_TRUE(res.completed);
+  }
+}
+
+// --- SchedulerKind::Compiled: steady-state fast-forward ---------------------
+
+/// A pure-DAG program the schedule IR accepts (no gates, merges, feedback).
+std::string dagSource(int m) {
+  return "const m = " + std::to_string(m) + "\n" + R"(
+function f(A, B: array[real] [1, m] returns array[real])
+  forall i in [1, m]
+  construct 0.5 * (A[i] + B[i]) * A[i]
+  endall
+endfun
+)";
+}
+
+struct CompiledRun {
+  MachineResult ed;
+  MachineResult cp;
+};
+
+CompiledRun runCompiledVsEvent(const dfg::Graph& lowered,
+                               const MachineConfig& cfg,
+                               const run::StreamMap& in, RunOptions opts) {
+  CompiledRun r;
+  opts.scheduler = SchedulerKind::EventDriven;
+  r.ed = machine::simulate(lowered, cfg, in, opts);
+  opts.scheduler = SchedulerKind::Compiled;
+  r.cp = machine::simulate(lowered, cfg, in, opts);
+  return r;
+}
+
+class CompiledScheduler : public ::testing::Test {
+ protected:
+  void prepare(int m) {
+    prog_ = core::compileSource(dagSource(m));
+    lowered_ = opt::fuseFifos(prog_.graph);
+    val::ArrayMap in;
+    in["A"] = randomArray({1, m}, 41);
+    in["B"] = randomArray({1, m}, 42);
+    streams_ = testing::inputsFor(prog_, in);
+  }
+  RunOptions expectAll(int waves = 1) const {
+    RunOptions opts;
+    opts.waves = waves;
+    opts.expectedOutputs.emplace(prog_.outputName,
+                                 prog_.expectedOutputPerWave() * waves);
+    return opts;
+  }
+
+  core::CompiledProgram prog_;
+  dfg::Graph lowered_;
+  run::StreamMap streams_;
+};
+
+TEST_F(CompiledScheduler, FastForwardsLargeDagBitIdentical) {
+  prepare(1024);
+  const CompiledRun r = runCompiledVsEvent(lowered_, MachineConfig::unit(),
+                                           streams_, expectAll());
+  expectIdentical(r.cp, r.ed, "compiled fast-forward (unit)");
+  ASSERT_TRUE(r.cp.completed) << r.cp.note;
+  EXPECT_TRUE(r.cp.compiled.accepted) << r.cp.compiled.reason;
+  EXPECT_TRUE(r.cp.compiled.fastForwarded) << r.cp.compiled.reason;
+  EXPECT_GT(r.cp.compiled.windowsSkipped, 0);
+  EXPECT_EQ(r.cp.compiled.hyperPeriod, 2);
+  EXPECT_EQ(r.cp.compiled.detectedPeriod, 2);
+  EXPECT_TRUE(r.cp.compiled.vectorized);
+}
+
+TEST_F(CompiledScheduler, FastForwardsUnderHardwareProfileAndMultipleWaves) {
+  prepare(512);
+  const CompiledRun r = runCompiledVsEvent(lowered_, MachineConfig::hardware(),
+                                           streams_, expectAll(/*waves=*/3));
+  expectIdentical(r.cp, r.ed, "compiled fast-forward (hardware, 3 waves)");
+  ASSERT_TRUE(r.cp.completed) << r.cp.note;
+  EXPECT_TRUE(r.cp.compiled.fastForwarded) << r.cp.compiled.reason;
+  EXPECT_GT(r.cp.compiled.windowsSkipped, 0);
+}
+
+TEST_F(CompiledScheduler, FastForwardsToQuiescenceWithoutExpectations) {
+  prepare(768);
+  const CompiledRun r = runCompiledVsEvent(lowered_, MachineConfig::unit(),
+                                           streams_, RunOptions{});
+  expectIdentical(r.cp, r.ed, "compiled quiescence run");
+  ASSERT_TRUE(r.cp.completed) << r.cp.note;
+  EXPECT_TRUE(r.cp.compiled.fastForwarded) << r.cp.compiled.reason;
+  EXPECT_GT(r.cp.compiled.windowsSkipped, 0);
+}
+
+TEST_F(CompiledScheduler, GuardsValidatePerHyperPeriodCountersAcrossJumps) {
+  prepare(1024);
+  guard::Config guards;
+  RunOptions opts = expectAll();
+  opts.guards = &guards;
+  const CompiledRun r =
+      runCompiledVsEvent(lowered_, MachineConfig::unit(), streams_, opts);
+  expectIdentical(r.cp, r.ed, "compiled run with guards");
+  ASSERT_TRUE(r.cp.completed) << r.cp.note;
+  EXPECT_TRUE(r.cp.compiled.fastForwarded) << r.cp.compiled.reason;
+  EXPECT_GT(r.cp.compiled.windowsSkipped, 0);
+}
+
+TEST_F(CompiledScheduler, FiniteFuPoolDisablesFastForwardButStaysIdentical) {
+  prepare(256);
+  const MachineConfig finite = MachineConfig::hardware(/*fpus=*/2, /*alus=*/2,
+                                                       /*ams=*/1);
+  const CompiledRun r =
+      runCompiledVsEvent(lowered_, finite, streams_, expectAll());
+  expectIdentical(r.cp, r.ed, "compiled with finite FU pool");
+  EXPECT_TRUE(r.cp.compiled.accepted);
+  EXPECT_FALSE(r.cp.compiled.fastForwarded);
+  EXPECT_NE(r.cp.compiled.reason.find("function-unit"), std::string::npos)
+      << r.cp.compiled.reason;
+}
+
+TEST_F(CompiledScheduler, ObservabilitySinksDisableFastForwardButStayIdentical) {
+  prepare(256);
+  obs::MetricsSink edSink, cpSink;
+  RunOptions opts = expectAll();
+  opts.scheduler = SchedulerKind::EventDriven;
+  opts.metrics = &edSink;
+  const MachineResult ed =
+      machine::simulate(lowered_, MachineConfig::unit(), streams_, opts);
+  opts.scheduler = SchedulerKind::Compiled;
+  opts.metrics = &cpSink;
+  const MachineResult cp =
+      machine::simulate(lowered_, MachineConfig::unit(), streams_, opts);
+  expectIdentical(cp, ed, "compiled with metrics sink");
+  EXPECT_FALSE(cp.compiled.fastForwarded);
+  EXPECT_NE(cp.compiled.reason.find("observability"), std::string::npos)
+      << cp.compiled.reason;
+}
+
+TEST(CompiledFallback, GatedGraphFallsBackWithStructuredReason) {
+  const auto prog = core::compile(core::frontend(testing::example1Source(16)));
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  val::ArrayMap in;
+  in["B"] = randomArray({0, 17}, 51);
+  in["C"] = randomArray({0, 17}, 52);
+  const run::StreamMap streams = testing::inputsFor(prog, in);
+  RunOptions opts;
+  opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  const CompiledRun r =
+      runCompiledVsEvent(lowered, MachineConfig::unit(), streams, opts);
+  expectIdentical(r.cp, r.ed, "compiled fallback on gated graph");
+  ASSERT_TRUE(r.cp.completed) << r.cp.note;
+  EXPECT_TRUE(r.cp.compiled.requested);
+  EXPECT_FALSE(r.cp.compiled.accepted);
+  EXPECT_NE(r.cp.compiled.reason.find("declined (gated-delivery)"),
+            std::string::npos)
+      << r.cp.compiled.reason;
+  EXPECT_NE(r.cp.compiled.reason.find("falling back to event-driven"),
+            std::string::npos)
+      << r.cp.compiled.reason;
+}
+
+TEST(CompiledFallback, ErrorModeThrowsScheduleDeclined) {
+  const auto prog = core::compile(core::frontend(testing::example1Source(8)));
+  const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+  val::ArrayMap in;
+  in["B"] = randomArray({0, 9}, 61);
+  in["C"] = randomArray({0, 9}, 62);
+  const run::StreamMap streams = testing::inputsFor(prog, in);
+  RunOptions opts;
+  opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+  opts.scheduler = SchedulerKind::Compiled;
+  opts.compiledFallback = core::CompiledFallback::Error;
+  EXPECT_THROW(
+      machine::simulate(lowered, MachineConfig::unit(), streams, opts),
+      sched::ScheduleDeclined);
+}
+
+TEST(CompiledFallback, FeedbackSchemesFallBackBitIdentical) {
+  // Both for-iter schemes carry feedback cycles the IR declines; the
+  // compiled scheduler must still match the event-driven run exactly.
+  for (ForIterScheme scheme : {ForIterScheme::Todd, ForIterScheme::Companion}) {
+    CompileOptions copts;
+    copts.forIterScheme = scheme;
+    const auto prog =
+        core::compile(core::frontend(testing::example2Source(32)), copts);
+    const dfg::Graph lowered = dfg::expandFifos(prog.graph);
+    val::ArrayMap in;
+    in["A"] = randomArray({1, 32}, 71, -0.8, 0.8);
+    in["B"] = randomArray({1, 32}, 72);
+    const run::StreamMap streams = testing::inputsFor(prog, in);
+    RunOptions opts;
+    opts.expectedOutputs[prog.outputName] = prog.expectedOutputPerWave();
+    const CompiledRun r =
+        runCompiledVsEvent(lowered, MachineConfig::unit(), streams, opts);
+    expectIdentical(r.cp, r.ed, "compiled fallback on for-iter scheme");
+    ASSERT_TRUE(r.cp.completed) << r.cp.note;
+    EXPECT_FALSE(r.cp.compiled.accepted);
   }
 }
 
